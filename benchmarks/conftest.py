@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Every benchmark prints the series/rows of the paper artifact it
+regenerates.  ``REPRO_PRESET`` selects fidelity: the default "smoke"
+keeps the whole suite in minutes; "scaled" is the EXPERIMENTS.md
+setting; "paper" replays the full 8-hour run (slow).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: preset used by throughput benchmarks (see repro.experiments.PRESETS)
+PRESET = os.environ.get("REPRO_PRESET", "smoke")
+#: seed shared by all benchmark runs
+SEED = int(os.environ.get("REPRO_SEED", "3"))
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return PRESET
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return SEED
+
+
+@pytest.fixture(scope="session")
+def sales_workload():
+    from repro.experiments.runner import make_workload
+
+    return make_workload("sales")
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

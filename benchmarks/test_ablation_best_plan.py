@@ -1,0 +1,35 @@
+"""ABL-BPSF — §4.1 extension (b): returning the best already-explored
+plan instead of an out-of-memory error "allow[s] the system to better
+handle low-memory conditions".
+"""
+
+import pytest
+
+from repro.experiments.ablations import ablate_best_plan
+from repro.metrics.report import render_table
+from benchmarks.conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def ablation(preset, seed):
+    return ablate_best_plan(clients=40, preset=preset, seed=seed)
+
+
+def test_ablation_best_plan(benchmark, ablation):
+    benchmark.pedantic(lambda: ablation, rounds=1, iterations=1)
+    print_banner("ABL-BPSF: best-plan-so-far on/off (40 clients)")
+    rows = [(label, r.completed, r.failed, r.degraded,
+             r.error_counts.get("compile_oom", 0))
+            for label, r in ablation.results.items()]
+    print(render_table(
+        ("variant", "completed", "errors", "degraded plans",
+         "compile OOM"), rows))
+
+    hard = ablation.results["hard_oom"]
+    soft = ablation.results["best_plan"]
+    # the extension converts compile OOM errors into degraded plans
+    assert (soft.error_counts.get("compile_oom", 0)
+            < max(1, hard.error_counts.get("compile_oom", 0)))
+    assert soft.degraded > hard.degraded
+    # and completes at least as many queries
+    assert soft.completed >= hard.completed

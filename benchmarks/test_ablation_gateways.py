@@ -1,0 +1,35 @@
+"""ABL-GATES — §4.1: "dividing query compilations into four memory
+usage categories gives the best balance".
+
+Sweeps the number of monitors (0 = un-throttled, 3 = the paper's
+ladder) and prints completions and errors per variant.
+"""
+
+import pytest
+
+from repro.experiments.ablations import ablate_gateway_count
+from repro.metrics.report import render_table
+from benchmarks.conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def ablation(preset, seed):
+    return ablate_gateway_count(clients=30, preset=preset, seed=seed)
+
+
+def test_ablation_gateway_count(benchmark, ablation):
+    benchmark.pedantic(lambda: ablation, rounds=1, iterations=1)
+    print_banner("ABL-GATES: monitor-count ablation (30 clients)")
+    rows = [(label, r.completed, r.failed)
+            for label, r in ablation.results.items()]
+    print(render_table(("variant", "completed", "errors"), rows))
+
+    completions = ablation.completions()
+    errors = ablation.errors()
+    # any throttling beats none
+    best_throttled = max(completions[k] for k in completions
+                         if k != "0_monitors")
+    assert best_throttled > completions["0_monitors"]
+    # the full ladder keeps errors lowest (or tied)
+    assert errors["3_monitors"] <= min(errors["0_monitors"],
+                                       errors["1_monitors"])

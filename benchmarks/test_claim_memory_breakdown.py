@@ -1,0 +1,45 @@
+"""CLAIM-MEM — §1/§2 prose: un-throttled concurrent compilations
+"consume most available memory on the machine and starve query
+execution memory and the buffer pool".
+
+Compares mean per-clerk memory between the throttled and un-throttled
+runs at the saturation point.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics.report import render_table
+from repro.units import MiB
+from benchmarks.conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def results(preset, seed, sales_workload):
+    out = {}
+    for throttling in (True, False):
+        out[throttling] = run_experiment(ExperimentConfig(
+            workload="sales", clients=30, throttling=throttling,
+            preset=preset, seed=seed), workload=sales_workload)
+    return out
+
+
+def test_claim_memory_breakdown(benchmark, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    print_banner("CLAIM-MEM: mean memory by component (MiB), 30 clients")
+    clerks = sorted(set(results[True].memory_by_clerk)
+                    | set(results[False].memory_by_clerk))
+    rows = [(clerk,
+             results[True].memory_by_clerk.get(clerk, 0) / MiB,
+             results[False].memory_by_clerk.get(clerk, 0) / MiB)
+            for clerk in clerks]
+    print(render_table(("component", "throttled", "unthrottled"), rows))
+
+    throttled = results[True].memory_by_clerk
+    unthrottled = results[False].memory_by_clerk
+    # un-throttled compilation eats a multiple of the throttled amount
+    assert (unthrottled["compilation"]
+            > 1.5 * throttled["compilation"])
+    # and the victims get less memory than under throttling
+    assert (unthrottled["workspace"]
+            < throttled["workspace"])

@@ -1,0 +1,28 @@
+"""FIG1 — Figure 1 "Memory Monitors".
+
+Regenerates the monitor ladder: thresholds increase, concurrency
+limits decrease, timeouts increase.
+"""
+
+from repro.experiments import figure1_monitors
+from repro.config import default_gateways, paper_server_config
+from benchmarks.conftest import print_banner
+
+
+def test_fig1_monitor_ladder(benchmark):
+    text = benchmark(figure1_monitors, True)
+    print_banner("Figure 1: memory monitors (threshold up, limit down)")
+    print(text)
+
+    gateways = default_gateways()
+    cpus = paper_server_config().hardware.cpus
+    thresholds = [g.threshold for g in gateways]
+    limits = [g.capacity(cpus) for g in gateways]
+    timeouts = [g.timeout for g in gateways]
+    assert thresholds == sorted(thresholds)
+    assert limits == sorted(limits, reverse=True)
+    assert timeouts == sorted(timeouts)
+    # the paper's concrete ladder: 4/CPU, 1/CPU, 1 total on 8 CPUs
+    assert limits == [32, 8, 1]
+    for name in ("small", "medium", "big"):
+        assert name in text

@@ -1,0 +1,26 @@
+"""FIG2 — Figure 2 "Compilation Throttling Example".
+
+Three staggered compilations under induced memory pressure; their
+per-task compilation memory over time shows the blocking plateaus and
+the release-to-zero at completion.
+"""
+
+from repro.experiments import figure2_trace
+from benchmarks.conftest import print_banner
+
+
+def test_fig2_trace(benchmark):
+    trace = benchmark.pedantic(figure2_trace, kwargs={"seed": 11},
+                               rounds=1, iterations=1)
+    print_banner("Figure 2: compilation memory vs time (Q1, Q2, Q3)")
+    print(trace.chart())
+
+    for label in ("Q1", "Q2", "Q3"):
+        curve = trace.curves[label]
+        peaks = [v for _, v in curve]
+        assert max(peaks) > 0, f"{label} never allocated"
+        # memory is freed at the end of compilation (paper: "At the end
+        # of compilation, memory used in the process is freed")
+        assert peaks[-1] == 0, f"{label} still holds memory"
+        # at least one visible blocking plateau per traced query
+        assert trace.plateau_count(label) >= 1, f"{label} never blocked"

@@ -1,0 +1,37 @@
+"""FIG3 — Figure 3 "Throughput - 30 clients".
+
+Successful query completions per time slice, throttled vs
+un-throttled, at the saturation client count.  The paper reports a
+~35% throughput improvement and sustained 30–40 completions per slice;
+we assert the *shape*: throttling wins by a clearly positive factor
+and the throttled series is sustained (no collapse over time).
+"""
+
+import pytest
+
+from repro.experiments import throughput_figure
+from benchmarks.conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def comparison(preset, seed):
+    return throughput_figure(30, preset=preset, seed=seed)
+
+
+def test_fig3_throughput_30_clients(benchmark, comparison):
+    benchmark.pedantic(lambda: comparison, rounds=1, iterations=1)
+    print_banner("Figure 3: Successful Queries/Time (30 clients)")
+    print(comparison.render())
+
+    throttled = comparison.throttled
+    unthrottled = comparison.unthrottled
+    # who wins: throttling, by a clearly positive factor (paper: ~+35%)
+    assert comparison.improvement > 0.10, (
+        f"improvement {comparison.improvement:+.1%}")
+    # reliability: the throttled server returns far fewer errors
+    assert throttled.failed < unthrottled.failed / 2
+    # sustained throughput: later buckets do not collapse vs earlier ones
+    counts = [c for _, c in throttled.throughput]
+    first_half = sum(counts[:len(counts) // 2])
+    second_half = sum(counts[len(counts) - len(counts) // 2:])
+    assert second_half > 0.5 * first_half

@@ -1,0 +1,24 @@
+"""FIG4 — Figure 4 "Throughput - 35 clients".
+
+Beyond saturation the server is oversubscribed; throttling still
+improves throughput for the same client load (paper §5.2.1).
+"""
+
+import pytest
+
+from repro.experiments import throughput_figure
+from benchmarks.conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def comparison(preset, seed):
+    return throughput_figure(35, preset=preset, seed=seed)
+
+
+def test_fig4_throughput_35_clients(benchmark, comparison):
+    benchmark.pedantic(lambda: comparison, rounds=1, iterations=1)
+    print_banner("Figure 4: Successful Queries/Time (35 clients)")
+    print(comparison.render())
+
+    assert comparison.improvement > 0.05
+    assert comparison.throttled.failed < comparison.unthrottled.failed

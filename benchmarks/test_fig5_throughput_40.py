@@ -1,0 +1,24 @@
+"""FIG5 — Figure 5 "Throughput - 40 clients".
+
+The heaviest overload case: "throttling still improves throughput for
+a given number of clients" (paper §5.2.1).
+"""
+
+import pytest
+
+from repro.experiments import throughput_figure
+from benchmarks.conftest import print_banner
+
+
+@pytest.fixture(scope="module")
+def comparison(preset, seed):
+    return throughput_figure(40, preset=preset, seed=seed)
+
+
+def test_fig5_throughput_40_clients(benchmark, comparison):
+    benchmark.pedantic(lambda: comparison, rounds=1, iterations=1)
+    print_banner("Figure 5: Successful Queries/Time (40 clients)")
+    print(comparison.render())
+
+    assert comparison.improvement > 0.05
+    assert comparison.throttled.failed < comparison.unthrottled.failed

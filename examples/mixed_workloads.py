@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Workload classes and the monitor ladder (paper §4.1 categories).
+
+Compiles a sample of OLTP, TPC-H-like and SALES queries on one server
+and reports where each class lands in the throttling ladder:
+
+* OLTP point lookups — small-monitor category (or below the first
+  threshold entirely, like the paper's diagnostic queries);
+* TPC-H-like analytics — small/medium;
+* SALES ad-hoc DSS — medium/big: "one to two orders of magnitude more
+  memory than TPC-H queries of similar scale" (§5.1).
+
+Run:  python examples/mixed_workloads.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DatabaseServer, paper_server_config
+from repro.metrics.report import render_table
+from repro.optimizer import Optimizer
+from repro.sql import Binder, parse
+from repro.units import MiB
+from repro.workload import OltpWorkload, SalesWorkload, TpchWorkload
+
+
+def peak_bytes(workload, samples: int = 12, seed: int = 4) -> list:
+    catalog = workload.build_catalog()
+    binder = Binder(catalog)
+    optimizer = Optimizer(catalog)
+    rng = random.Random(seed)
+    peaks = []
+    for _ in range(samples):
+        query = workload.generate(rng)
+        bound = binder.bind(parse(query.text))
+        result = optimizer.optimize(bound)
+        peaks.append(result.memo_bytes)
+    return peaks
+
+
+def main() -> None:
+    config = paper_server_config(throttling=True)
+    governor_thresholds = [g.threshold for g in config.throttle.gateways]
+    names = ["unthrottled", "small", "medium", "big"]
+
+    def category(nbytes: int) -> str:
+        level = sum(1 for t in governor_thresholds if nbytes > t)
+        return names[level]
+
+    rows = []
+    for workload in (OltpWorkload(), TpchWorkload(), SalesWorkload()):
+        peaks = sorted(peak_bytes(workload))
+        median = peaks[len(peaks) // 2]
+        rows.append((workload.name,
+                     f"{peaks[0] / MiB:.1f}",
+                     f"{median / MiB:.1f}",
+                     f"{peaks[-1] / MiB:.1f}",
+                     category(median)))
+
+    print("compilation memory by workload class (MiB):")
+    print()
+    print(render_table(
+        ("workload", "min", "median", "max", "median category"), rows))
+    print()
+    print("paper §5.1: SALES compiles use 1-2 orders of magnitude more")
+    print("memory than TPC-H queries; §4.1: OLTP lands in the small")
+    print("category while the biggest DSS compilations serialize.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Reproduce Figure 3: throttled vs un-throttled throughput.
+
+Runs the SALES benchmark at the saturation client count twice — once
+with the compilation gateways enabled, once without — and prints the
+completions-per-time-slice series side by side, like the paper's
+Figure 3.  Uses the "smoke" preset by default so it finishes in well
+under a minute; pass "scaled" or "paper" for higher fidelity.
+
+Run:  python examples/throughput_comparison.py [preset] [clients]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import throughput_figure
+
+
+def main() -> None:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    clients = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+    print(f"running SALES at {clients} clients, preset={preset!r} "
+          f"(throttled + un-throttled) …")
+    comparison = throughput_figure(clients, preset=preset)
+    print()
+    print(comparison.render())
+    print()
+    print(f"paper reference: ≈+35% at 30 clients; "
+          f"measured: {comparison.improvement:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

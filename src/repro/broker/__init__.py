@@ -1,0 +1,27 @@
+"""★ Core contribution: the Memory Broker (paper §3).
+
+The broker "accounts for the memory allocated by each subcomponent,
+recognizes trends in allocation patterns, and provides the mechanisms
+to enforce policies for resolving contention both within and among
+subcomponents."  Concretely: a periodic process samples per-clerk
+usage, fits a short linear trend, projects usage over a horizon, and —
+only when the projected total exceeds physical memory — computes
+per-component targets and sends GROW/STABLE/SHRINK notifications.
+When memory is plentiful the broker takes no action at all, exactly as
+the paper specifies.
+"""
+
+from repro.broker.trend import LinearTrend, TrendEstimator
+from repro.broker.broker import (
+    BrokerNotification,
+    BrokerSignal,
+    MemoryBroker,
+)
+
+__all__ = [
+    "BrokerNotification",
+    "BrokerSignal",
+    "LinearTrend",
+    "MemoryBroker",
+    "TrendEstimator",
+]

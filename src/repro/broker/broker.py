@@ -1,0 +1,204 @@
+"""The Memory Broker process.
+
+Every ``interval`` seconds the broker samples per-clerk usage, fits
+trends, and projects total usage ``horizon`` seconds ahead.  While the
+projection fits in physical memory (minus headroom) it does nothing —
+"the system behaves as if the Memory Broker was not there."  Under
+projected pressure it computes per-component targets and notifies
+subscribers, which in this server are:
+
+* the buffer pool — gets a size target and shrinks toward it,
+* the plan cache — gets shrink requests,
+* the compilation governor — gets the compilation-memory target that
+  drives the dynamic gateway thresholds (extension (a)),
+* compilation tasks — can consult :meth:`MemoryBroker.pressure` to
+  trigger the best-plan-so-far cutoff (extension (b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.config import BrokerConfig
+from repro.broker.trend import TrendEstimator
+from repro.memory.manager import MemoryManager
+from repro.sim import Environment
+
+
+class BrokerSignal(Enum):
+    """What a component should do with its memory consumption."""
+
+    GROW = "grow"       # may continue allocating freely
+    STABLE = "stable"   # may allocate at its current rate, no faster
+    SHRINK = "shrink"   # must release memory toward the target
+
+
+@dataclass(frozen=True)
+class BrokerNotification:
+    """One per-component notification (paper §3: each subcomponent gets
+    its predicted and target numbers plus a directive)."""
+
+    clerk: str
+    signal: BrokerSignal
+    current: int
+    predicted: int
+    target: int
+    at: float
+
+
+#: subscriber callback type
+NotificationHandler = Callable[[BrokerNotification], None]
+
+
+class MemoryBroker:
+    """Central accounting and arbitration for all memory clerks."""
+
+    #: clerk names the broker treats as shrinkable caches
+    CACHE_CLERKS = ("buffer_pool", "plan_cache")
+    #: the compilation clerk name
+    COMPILE_CLERK = "compilation"
+
+    def __init__(self, env: Environment, manager: MemoryManager,
+                 config: BrokerConfig, time_scale: float = 1.0):
+        self.env = env
+        self.manager = manager
+        self.config = config
+        self._time_scale = time_scale
+        self._trends: Dict[str, TrendEstimator] = {}
+        self._handlers: Dict[str, List[NotificationHandler]] = {}
+        #: most recent notifications by clerk (observability)
+        self.last_notifications: Dict[str, BrokerNotification] = {}
+        #: True while the projected total exceeds the pressure limit
+        self.under_pressure = False
+        #: sweeps performed (diagnostics)
+        self.sweeps = 0
+        self._process = None
+
+    # -- wiring ------------------------------------------------------------
+    def subscribe(self, clerk_name: str,
+                  handler: NotificationHandler) -> None:
+        """Register a component to receive notifications for a clerk."""
+        self._handlers.setdefault(clerk_name, []).append(handler)
+
+    def start(self) -> None:
+        """Launch the periodic broker process (no-op when disabled)."""
+        if self.config.enabled and self._process is None:
+            self._process = self.env.process(self._run())
+
+    # -- policy ------------------------------------------------------------
+    @property
+    def pressure_limit(self) -> int:
+        """Usable physical memory: total minus the headroom reserve."""
+        return int(self.manager.physical_memory
+                   * (1.0 - self.config.headroom_fraction))
+
+    def compile_target(self) -> int:
+        """Compilation memory offered under pressure (bytes)."""
+        return int(self.pressure_limit * self.config.compile_target_fraction)
+
+    def pressure(self) -> bool:
+        """Cheap query for "will we run out of memory soon?" — used by
+        compilations to decide a best-plan-so-far early cutoff."""
+        return self.under_pressure
+
+    # -- the periodic sweep ---------------------------------------------------
+    def _run(self):
+        interval = self.config.interval / self._time_scale
+        while True:
+            yield self.env.timeout(interval)
+            self.sweep()
+
+    def sweep(self) -> None:
+        """One accounting pass: sample, predict, notify."""
+        self.sweeps += 1
+        now = self.env.now
+        usage = self.manager.usage_by_clerk()
+        predicted: Dict[str, int] = {}
+        for name, used in usage.items():
+            trend = self._trends.get(name)
+            if trend is None:
+                trend = TrendEstimator(window=self.config.window)
+                self._trends[name] = trend
+            trend.add(now, used)
+            predicted[name] = int(trend.predict(self.config.horizon))
+
+        total_predicted = sum(predicted.values())
+        limit = self.pressure_limit
+        self.under_pressure = total_predicted > limit
+        if not self.under_pressure:
+            # no action: the system behaves as if the broker was absent,
+            # but notify anyone previously told to shrink that it may grow
+            self._notify_all_grow(usage, predicted, now)
+            return
+
+        targets = self._compute_targets(usage, predicted, limit)
+        for name in usage:
+            target = targets.get(name, predicted[name])
+            signal = self._signal_for(usage[name], predicted[name], target)
+            note = BrokerNotification(
+                clerk=name, signal=signal, current=usage[name],
+                predicted=predicted[name], target=target, at=now)
+            self._dispatch(note)
+
+    def _compute_targets(self, usage: Dict[str, int],
+                         predicted: Dict[str, int],
+                         limit: int) -> Dict[str, int]:
+        """Split the usable memory between components under pressure.
+
+        Non-cache, non-compilation consumers (execution grants, system
+        overhead) cannot be forcibly shrunk, so they keep their
+        prediction; compilation is capped at its configured share of
+        the limit; the caches split whatever remains, with the buffer
+        pool guaranteed its floor.
+        """
+        targets: Dict[str, int] = {}
+        compile_cap = self.compile_target()
+        fixed = 0
+        for name, value in predicted.items():
+            if name == self.COMPILE_CLERK:
+                targets[name] = min(value, compile_cap)
+            elif name not in self.CACHE_CLERKS:
+                targets[name] = value
+                fixed += value
+        remaining = max(0, limit - fixed
+                        - targets.get(self.COMPILE_CLERK, 0))
+        floor = int(self.manager.physical_memory
+                    * self.config.buffer_pool_floor_fraction)
+        cache_usage = sum(usage.get(c, 0) for c in self.CACHE_CLERKS)
+        for name in self.CACHE_CLERKS:
+            if name not in usage:
+                continue
+            share = (usage[name] / cache_usage) if cache_usage else 0.5
+            target = int(remaining * share)
+            if name == "buffer_pool":
+                target = max(target, floor)
+            targets[name] = target
+        return targets
+
+    @staticmethod
+    def _signal_for(current: int, predicted: int,
+                    target: int) -> BrokerSignal:
+        if target < current:
+            return BrokerSignal.SHRINK
+        if target < predicted:
+            return BrokerSignal.STABLE
+        return BrokerSignal.GROW
+
+    def _notify_all_grow(self, usage: Dict[str, int],
+                         predicted: Dict[str, int], now: float) -> None:
+        for name, used in usage.items():
+            previous = self.last_notifications.get(name)
+            if previous is not None and previous.signal is BrokerSignal.GROW:
+                continue  # already unconstrained; stay quiet
+            note = BrokerNotification(
+                clerk=name, signal=BrokerSignal.GROW, current=used,
+                predicted=predicted[name],
+                target=self.manager.physical_memory, at=now)
+            self._dispatch(note)
+
+    def _dispatch(self, note: BrokerNotification) -> None:
+        self.last_notifications[note.clerk] = note
+        for handler in self._handlers.get(note.clerk, []):
+            handler(note)

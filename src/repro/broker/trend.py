@@ -1,0 +1,112 @@
+"""Trend estimation over short usage windows.
+
+The broker needs to *predict* near-future memory usage, not just react
+to the present, so that components are notified before the machine is
+actually exhausted.  A sliding-window least-squares slope is robust to
+the sawtooth allocation patterns compilations produce; an EWMA variant
+is provided for comparison in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+
+@dataclass
+class LinearTrend:
+    """Least-squares fit result: ``value ≈ level + slope * (t - t_last)``."""
+
+    level: float
+    slope: float
+
+    def predict(self, horizon: float) -> float:
+        """Projected value ``horizon`` seconds past the last sample
+        (clamped at zero — memory usage cannot go negative)."""
+        return max(0.0, self.level + self.slope * horizon)
+
+
+class TrendEstimator:
+    """Sliding-window trend tracker for one component's usage."""
+
+    def __init__(self, window: int = 10):
+        if window < 2:
+            raise ValueError("trend window must hold at least 2 samples")
+        self.window = window
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=window)
+
+    def add(self, t: float, value: float) -> None:
+        """Record one (time, usage) sample."""
+        self._samples.append((t, float(value)))
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def last_value(self) -> float:
+        return self._samples[-1][1] if self._samples else 0.0
+
+    def fit(self) -> LinearTrend:
+        """Least-squares line through the window, anchored at the last
+        sample time.  With fewer than 2 samples the slope is zero."""
+        n = len(self._samples)
+        if n == 0:
+            return LinearTrend(level=0.0, slope=0.0)
+        if n == 1:
+            return LinearTrend(level=self._samples[0][1], slope=0.0)
+        t_last = self._samples[-1][0]
+        xs = [t - t_last for t, _ in self._samples]
+        ys = [v for _, v in self._samples]
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        if sxx <= 0:
+            return LinearTrend(level=ys[-1], slope=0.0)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        slope = sxy / sxx
+        level = mean_y + slope * (0.0 - mean_x)
+        return LinearTrend(level=level, slope=slope)
+
+    def predict(self, horizon: float) -> float:
+        """Projected usage ``horizon`` seconds from the last sample."""
+        return self.fit().predict(horizon)
+
+
+class EwmaEstimator:
+    """Exponentially-weighted alternative predictor (ablation use).
+
+    Tracks level and rate-of-change with the same ``add``/``predict``
+    interface as :class:`TrendEstimator`.
+    """
+
+    def __init__(self, alpha: float = 0.4):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level: float | None = None
+        self._rate = 0.0
+        self._last_t: float | None = None
+
+    def add(self, t: float, value: float) -> None:
+        value = float(value)
+        if self._level is None or self._last_t is None:
+            self._level, self._last_t = value, t
+            return
+        dt = max(1e-9, t - self._last_t)
+        instantaneous_rate = (value - self._level) / dt
+        self._rate = (self.alpha * instantaneous_rate
+                      + (1.0 - self.alpha) * self._rate)
+        self._level = (self.alpha * value
+                       + (1.0 - self.alpha) * self._level)
+        self._last_t = t
+
+    @property
+    def last_value(self) -> float:
+        return self._level or 0.0
+
+    def predict(self, horizon: float) -> float:
+        if self._level is None:
+            return 0.0
+        return max(0.0, self._level + self._rate * horizon)

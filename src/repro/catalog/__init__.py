@@ -1,0 +1,22 @@
+"""Schema metadata and optimizer statistics.
+
+The catalog holds table/column/index definitions plus the statistics
+(row counts, distinct-value counts, equi-depth histograms) the
+cardinality estimator consumes.  It also owns the
+:class:`~repro.storage.pagemap.PageMap` so every table has an on-disk
+layout the buffer pool can address.
+"""
+
+from repro.catalog.schema import Column, ColumnType, Index, Table
+from repro.catalog.statistics import ColumnStatistics, Histogram
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "ColumnType",
+    "Histogram",
+    "Index",
+    "Table",
+]

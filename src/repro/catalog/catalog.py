@@ -1,0 +1,73 @@
+"""The catalog: named tables, their statistics and on-disk layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.catalog.schema import Column, Table
+from repro.catalog.statistics import ColumnStatistics, build_column_statistics
+from repro.errors import CatalogError
+from repro.storage.pagemap import ChunkRange, PageMap
+
+
+class Catalog:
+    """All schema metadata of one database."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._stats: Dict[Tuple[str, str], ColumnStatistics] = {}
+        self.pagemap = PageMap()
+        #: per-table statistical skew used when synthesizing histograms
+        self._skew: Dict[str, float] = {}
+
+    def create_table(self, table: Table, skew: float = 0.0) -> Table:
+        """Register a table, lay it out on disk and build statistics."""
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+        self._skew[key] = skew
+        self.pagemap.add_table(key, table.nbytes)
+        for column in table.columns:
+            self._stats[(key, column.name.lower())] = build_column_statistics(
+                column, table.row_count, skew=skew)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        table = self._tables.pop(key)
+        self._skew.pop(key, None)
+        for column in table.columns:
+            self._stats.pop((key, column.name.lower()), None)
+        # the pagemap keeps the layout slot — chunk ids are never reused,
+        # matching how real systems avoid dangling page references
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    def statistics(self, table: str, column: str) -> ColumnStatistics:
+        try:
+            return self._stats[(table.lower(), column.lower())]
+        except KeyError:
+            raise CatalogError(
+                f"no statistics for {table}.{column}") from None
+
+    def chunk_range(self, table: str) -> ChunkRange:
+        """On-disk chunk range of a table (for the buffer pool)."""
+        return self.pagemap.range_of(table.lower())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total database size (the paper's data mart is 524 GB)."""
+        return sum(t.nbytes for t in self._tables.values())

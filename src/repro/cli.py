@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure``     reproduce one of the paper's figures (1, 2, 3, 4, 5)
+``sweep``      client sweep (the CLAIM-SAT saturation experiment)
+``ablation``   run one of the design ablations
+``query``      compile + execute one ad-hoc query and print the report
+``monitors``   print the memory-monitor ladder
+
+Examples
+--------
+::
+
+    python -m repro figure 3 --preset smoke
+    python -m repro query --workload sales --seed 7
+    python -m repro ablation gateways --clients 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.config import paper_server_config
+from repro.experiments import (
+    ExperimentConfig,
+    figure1_monitors,
+    figure2_trace,
+    run_experiment,
+    throughput_figure,
+)
+from repro.experiments.ablations import (
+    ablate_best_plan,
+    ablate_dynamic_thresholds,
+    ablate_gateway_count,
+)
+from repro.experiments.runner import PRESETS, make_workload
+from repro.metrics.report import render_table
+from repro.server.server import DatabaseServer
+from repro.units import format_bytes, format_duration
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default="smoke", choices=sorted(PRESETS),
+                        help="fidelity/runtime preset")
+    parser.add_argument("--seed", type=int, default=3)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CIDR'07 compilation-memory-throttling reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="reproduce a paper figure")
+    fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    _add_common(fig)
+
+    sweep = sub.add_parser("sweep", help="client-count saturation sweep")
+    sweep.add_argument("--clients", type=int, nargs="+",
+                       default=[5, 15, 30, 40])
+    _add_common(sweep)
+
+    abl = sub.add_parser("ablation", help="run a design ablation")
+    abl.add_argument("which", choices=("gateways", "dynamic", "best-plan"))
+    abl.add_argument("--clients", type=int, default=30)
+    _add_common(abl)
+
+    query = sub.add_parser("query", help="run one ad-hoc query")
+    query.add_argument("--workload", default="sales",
+                       choices=("sales", "tpch", "oltp"))
+    query.add_argument("--no-throttle", action="store_true")
+    query.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("monitors", help="print the monitor ladder")
+    return parser
+
+
+def cmd_figure(args) -> int:
+    if args.number == 1:
+        print(figure1_monitors())
+        return 0
+    if args.number == 2:
+        trace = figure2_trace(seed=args.seed)
+        print(trace.chart())
+        return 0
+    clients = {3: 30, 4: 35, 5: 40}[args.number]
+    comparison = throughput_figure(clients, preset=args.preset,
+                                   seed=args.seed)
+    print(comparison.render())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    workload = make_workload("sales")
+    rows = []
+    for clients in args.clients:
+        result = run_experiment(ExperimentConfig(
+            workload="sales", clients=clients, throttling=True,
+            preset=args.preset, seed=args.seed), workload=workload)
+        rows.append((clients, result.completed, result.failed))
+    print(render_table(("clients", "completed", "errors"), rows))
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    runners = {
+        "gateways": ablate_gateway_count,
+        "dynamic": ablate_dynamic_thresholds,
+        "best-plan": ablate_best_plan,
+    }
+    ablation = runners[args.which](clients=args.clients,
+                                   preset=args.preset, seed=args.seed)
+    rows = [(label, r.completed, r.failed, r.degraded)
+            for label, r in ablation.results.items()]
+    print(render_table(("variant", "completed", "errors", "degraded"),
+                       rows))
+    return 0
+
+
+def cmd_query(args) -> int:
+    workload = make_workload(args.workload)
+    server = DatabaseServer(
+        paper_server_config(throttling=not args.no_throttle),
+        workload.build_catalog())
+    query = workload.generate(random.Random(args.seed))
+    print(f"-- template: {query.template}")
+    print(query.text)
+    print()
+    outcome = server.execute_sync(query.text)
+    if not outcome.ok:
+        print(f"FAILED: {outcome.error_kind}: {outcome.error_message}")
+        return 1
+    print(f"compile  {format_duration(outcome.compile_time)}  "
+          f"peak {format_bytes(outcome.compile_peak_bytes)}"
+          f"{'  [degraded]' if outcome.degraded_plan else ''}")
+    print(f"execute  {format_duration(outcome.execution_time)}  "
+          f"spilled={outcome.spilled}")
+    return 0
+
+
+def cmd_monitors(_args) -> int:
+    print(figure1_monitors())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figure": cmd_figure,
+        "sweep": cmd_sweep,
+        "ablation": cmd_ablation,
+        "query": cmd_query,
+        "monitors": cmd_monitors,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

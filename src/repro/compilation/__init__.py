@@ -1,0 +1,13 @@
+"""The query-compilation pipeline.
+
+``compile_query`` runs parse → bind → staged optimization as one
+simulation process, charging every optimizer allocation to the task's
+memory account and checking the throttling governor after each
+increment — so a compilation blocks at whichever monitor its *own
+memory use* requires, precisely the paper's §4.1 mechanism.
+"""
+
+from repro.compilation.compiled import CompiledPlan
+from repro.compilation.pipeline import CompilationPipeline
+
+__all__ = ["CompilationPipeline", "CompiledPlan"]

@@ -1,0 +1,33 @@
+"""The artifact a compilation produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plans.physical import PhysicalNode
+from repro.units import KiB
+
+
+@dataclass
+class CompiledPlan:
+    """A compiled, executable plan plus compile-time facts."""
+
+    plan: PhysicalNode
+    #: optimizer's cost estimate (seconds-equivalent units)
+    estimated_cost: float
+    #: peak compilation memory of the producing task (bytes)
+    peak_memory: int
+    #: total optimizer work units spent
+    work_units: int
+    #: True when this plan is a best-plan-so-far fallback
+    degraded: bool = False
+    #: wall-clock (simulated) seconds compilation took, incl. blocking
+    compile_time: float = 0.0
+    #: seconds spent blocked at gateways
+    gateway_wait: float = 0.0
+
+    @property
+    def cache_bytes(self) -> int:
+        """Plan-cache footprint of this plan (header + per-operator)."""
+        operators = sum(1 for _ in self.plan.walk())
+        return 64 * KiB + operators * 16 * KiB

@@ -1,0 +1,142 @@
+"""parse → bind → optimize as a throttled simulation process."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compilation.compiled import CompiledPlan
+from repro.errors import (
+    CompileOutOfMemoryError,
+    OutOfMemoryError,
+)
+from repro.memory.account import MemoryAccount
+from repro.memory.clerk import MemoryClerk
+from repro.optimizer.optimizer import Optimizer
+from repro.sim import Environment
+from repro.server.scheduler import CpuScheduler
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.throttle.governor import CompilationGovernor, ThrottleTicket
+
+#: CPU seconds for parsing (fixed) and binding (per referenced table)
+PARSE_CPU = 0.15
+BIND_CPU_PER_TABLE = 0.05
+
+
+class CompilationPipeline:
+    """Compiles query text into :class:`CompiledPlan` under throttling."""
+
+    def __init__(self, env: Environment, scheduler: CpuScheduler,
+                 governor: CompilationGovernor, optimizer: Optimizer,
+                 binder: Binder, clerk: MemoryClerk,
+                 broker=None, best_plan_so_far: bool = True):
+        self.env = env
+        self.scheduler = scheduler
+        self.governor = governor
+        self.optimizer = optimizer
+        self.binder = binder
+        self.clerk = clerk
+        self.broker = broker
+        self.best_plan_so_far = best_plan_so_far
+        #: compilations currently in flight (used for fair-share cutoffs)
+        self.active = 0
+        #: label -> MemoryAccount of in-flight compilations (tracing:
+        #: the Figure 2 reproduction samples these)
+        self.live_accounts: dict = {}
+        #: lifetime counters (metrics)
+        self.compilations = 0
+        self.degraded_plans = 0
+        self.oom_failures = 0
+
+    def compile(self, text: str, label: str = ""):
+        """Process generator: compile ``text``; returns CompiledPlan.
+
+        Raises :class:`~repro.errors.GatewayTimeoutError` on monitor
+        timeout and :class:`~repro.errors.CompileOutOfMemoryError` when
+        memory runs out with no fallback plan available.
+        """
+        started = self.env.now
+        account = MemoryAccount(self.clerk, label)
+        ticket = ThrottleTicket(label)
+        gateway_wait = 0.0
+        self.active += 1
+        self.live_accounts[label or id(account)] = account
+        try:
+            stmt = parse(text)
+            bound = self.binder.bind(stmt)
+            yield from self.scheduler.consume(
+                PARSE_CPU + BIND_CPU_PER_TABLE * bound.table_count)
+
+            task = self.optimizer.task(bound)
+            result = None
+            degraded = False
+            for step in task.steps():
+                if step.alloc_bytes:
+                    try:
+                        account.allocate(step.alloc_bytes)
+                    except OutOfMemoryError as exc:
+                        result = self._fallback(task)
+                        if result is None:
+                            self.oom_failures += 1
+                            raise CompileOutOfMemoryError(str(exc)) from exc
+                        degraded = True
+                        break
+                yield from self.scheduler.consume(step.cpu_seconds)
+                # broker-predicted OOM is checked *before* queueing at
+                # the next monitor: an outsized compilation under
+                # pressure takes its best plan so far instead of
+                # camping on a monitor slot while waiting to grow
+                if self._should_cut_short(task, account):
+                    result = self._fallback(task)
+                    if result is not None:
+                        degraded = True
+                        break
+                before_wait = self.env.now
+                yield from self.governor.ensure(ticket, account.used)
+                gateway_wait += self.env.now - before_wait
+            if result is None:
+                result = task.result
+            if result is None:  # pragma: no cover - steps always yield one
+                raise CompileOutOfMemoryError("optimization produced no plan")
+            self.compilations += 1
+            if degraded:
+                self.degraded_plans += 1
+            return CompiledPlan(
+                plan=result.plan,
+                estimated_cost=result.cost,
+                peak_memory=account.peak,
+                work_units=result.work_units,
+                degraded=degraded,
+                compile_time=self.env.now - started,
+                gateway_wait=gateway_wait,
+            )
+        finally:
+            self.active -= 1
+            self.live_accounts.pop(label or id(account), None)
+            self.governor.release(ticket)
+            account.close()
+
+    # -- extension (b): best-plan-so-far cutoffs ---------------------------
+    def _fallback(self, task):
+        if not self.best_plan_so_far:
+            return None
+        return task.best_plan_so_far()
+
+    def _should_cut_short(self, task, account: MemoryAccount) -> bool:
+        """Broker-predicted OOM: stop exploring and take the best plan.
+
+        Fires when the broker projects memory exhaustion and this task
+        already uses more than twice its fair share of the compilation
+        target — the paper's "the system will likely run out of memory
+        before compilation completes."
+        """
+        if not self.best_plan_so_far or self.broker is None:
+            return False
+        if not self.broker.pressure():
+            return False
+        fair_share = self.broker.compile_target() / max(1, self.active)
+        # only outsized compilations are cut short: beyond three times
+        # their fair share and well past the big-monitor threshold
+        cutoff = max(3.0 * fair_share,
+                     1.25 * float(self.governor.static_thresholds[-1]))
+        return account.used > cutoff

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the repro DBMS.
+
+Every failure a client can observe maps onto one of these exception
+types.  The taxonomy mirrors the paper's discussion of failure modes:
+out-of-memory errors (allocation beyond the physical budget), gateway
+timeouts (a throttled compilation that made no progress for too long),
+and memory-grant timeouts on the execution side.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro DBMS."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid server, workload or experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (programming error)."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-subsystem failures."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """An allocation could not be satisfied from physical memory.
+
+    Corresponds to the "out-of-memory errors" the paper's throttling
+    mechanism is designed to trade away (section 4.1).
+    """
+
+    def __init__(self, clerk_name: str, requested: int, available: int):
+        self.clerk_name = clerk_name
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"out of memory: clerk {clerk_name!r} requested {requested} bytes, "
+            f"only {available} available"
+        )
+
+
+class AccountClosedError(MemoryError_):
+    """An allocation was attempted against a closed memory account."""
+
+
+class QueryError(ReproError):
+    """Base class for per-query failures returned to a client."""
+
+    #: short tag used by the metrics collector to build error taxonomies
+    kind: str = "query_error"
+
+
+class GatewayTimeoutError(QueryError):
+    """A compilation waited too long at a memory monitor (paper section 4).
+
+    The paper: "If the compilation of a query remains blocked for an
+    excessively long period of time, its transaction is aborted with a
+    'timeout' error returned to the client."
+    """
+
+    kind = "gateway_timeout"
+
+    def __init__(self, gateway_name: str, waited: float):
+        self.gateway_name = gateway_name
+        self.waited = waited
+        super().__init__(
+            f"compilation timed out after waiting {waited:.1f}s at the "
+            f"{gateway_name} memory monitor"
+        )
+
+
+class CompileOutOfMemoryError(QueryError):
+    """Compilation failed because an optimizer allocation hit OOM."""
+
+    kind = "compile_oom"
+
+
+class GrantTimeoutError(QueryError):
+    """A query waited too long for an execution memory grant."""
+
+    kind = "grant_timeout"
+
+    def __init__(self, requested: int, waited: float):
+        self.requested = requested
+        self.waited = waited
+        super().__init__(
+            f"memory grant of {requested} bytes not available after "
+            f"{waited:.1f}s"
+        )
+
+
+class ExecutionOutOfMemoryError(QueryError):
+    """Query execution failed because a runtime allocation hit OOM."""
+
+    kind = "execution_oom"
+
+
+class SqlError(QueryError):
+    """Base class for front-end (parse/bind) failures."""
+
+    kind = "sql_error"
+
+
+class SqlSyntaxError(SqlError):
+    """The query text could not be parsed."""
+
+    kind = "sql_syntax_error"
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        super().__init__(message)
+
+
+class BindError(SqlError):
+    """A name in the query could not be resolved against the catalog."""
+
+    kind = "bind_error"
+
+
+class CatalogError(ReproError):
+    """Catalog misuse: duplicate/unknown tables, bad DDL."""

@@ -1,0 +1,23 @@
+"""Query execution: memory grants, operator work model, executor.
+
+Execution memory is "usually predictable [from] early, high-level
+decisions at the start of the execution of a query" (paper §3): the
+executor asks the :class:`~repro.execution.grants.ResourceSemaphore`
+for a grant sized from the optimizer's estimates, holds it for the
+whole execution, and spills (extra I/O passes) when granted less than
+it wanted — which is how compilation-memory pressure degrades
+execution times in this reproduction.
+"""
+
+from repro.execution.grants import MemoryGrant, ResourceSemaphore
+from repro.execution.operators import ExecutionProfile, build_profile
+from repro.execution.executor import ExecutionOutcome, QueryExecutor
+
+__all__ = [
+    "ExecutionOutcome",
+    "ExecutionProfile",
+    "MemoryGrant",
+    "QueryExecutor",
+    "ResourceSemaphore",
+    "build_profile",
+]

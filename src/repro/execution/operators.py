@@ -1,0 +1,118 @@
+"""Deriving an execution work profile from a physical plan.
+
+The executor does not interpret rows; it derives, from the plan's
+compile-time estimates, the *work* the query performs — CPU seconds,
+table-scan windows (which become buffer-pool reads), and the workspace
+memory the hash tables and sorts want.  The same
+:class:`~repro.optimizer.cost.CostModel` constants are used, so the
+optimizer's cost and the simulated reality agree except for runtime
+effects (cache hits, queueing, spills).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.optimizer.cost import CostModel
+from repro.plans import physical as ph
+from repro.units import MiB
+
+#: a grant smaller than desired multiplies work; spills are capped at
+#: this factor (multi-pass hash / sort)
+MAX_SPILL_FACTOR = 3.0
+
+
+@dataclass
+class ScanWork:
+    """One table-scan window the query must read through the pool."""
+
+    table: str
+    offset_fraction: float
+    length_fraction: float
+
+
+@dataclass
+class ExecutionProfile:
+    """Everything the executor needs to run one query."""
+
+    cpu_seconds: float = 0.0
+    scans: List[ScanWork] = field(default_factory=list)
+    #: workspace the plan ideally wants (bytes)
+    desired_memory: int = 0
+    #: rows returned to the client
+    output_rows: float = 0.0
+
+    def spill_bytes(self, granted: int) -> int:
+        """Extra bytes written+read when granted less than desired.
+
+        Grace-hash style: the overflow partition is written once and
+        read once; shortfalls deeper than 4x need a second recursion
+        level (capped — :data:`MAX_SPILL_FACTOR` passes over the
+        overflow in total).
+        """
+        if granted >= self.desired_memory or self.desired_memory == 0:
+            return 0
+        overflow = self.desired_memory - granted
+        ratio = self.desired_memory / max(granted, 1)
+        passes = 1.0 if ratio <= 4.0 else min(MAX_SPILL_FACTOR, ratio / 4.0 + 1.0)
+        return int(2 * overflow * passes)
+
+    def spill_cpu(self, granted: int) -> float:
+        """Extra CPU for re-partitioning when spilling."""
+        if granted >= self.desired_memory or self.desired_memory == 0:
+            return 0.0
+        shortfall = 1.0 - granted / self.desired_memory
+        return self.cpu_seconds * 0.3 * shortfall
+
+
+def build_profile(plan: ph.PhysicalNode, catalog: Catalog,
+                  cost_model: CostModel | None = None) -> ExecutionProfile:
+    """Walk a physical plan and accumulate its work profile."""
+    cm = cost_model or CostModel()
+    profile = ExecutionProfile()
+    profile.output_rows = plan.estimates.rows
+    for node in plan.walk():
+        _accumulate(node, profile, cm, catalog)
+    profile.desired_memory = int(plan.total_memory())
+    return profile
+
+
+def _accumulate(node: ph.PhysicalNode, profile: ExecutionProfile,
+                cm: CostModel, catalog: Catalog) -> None:
+    est = node.estimates
+    if isinstance(node, ph.TableScan):
+        profile.scans.append(ScanWork(
+            table=node.table,
+            offset_fraction=node.scan_offset,
+            length_fraction=node.scan_fraction,
+        ))
+        profile.cpu_seconds += est.rows * cm.params.cpu_per_row
+        return
+    if isinstance(node, ph.HashJoin):
+        build = node.build.estimates.rows
+        probe = node.probe.estimates.rows
+        profile.cpu_seconds += cm.hash_join_cost(build, probe, est.rows)
+        return
+    if isinstance(node, ph.NestedLoopsJoin):
+        outer = node.outer.estimates.rows
+        inner = node.inner.estimates.rows
+        profile.cpu_seconds += cm.nl_join_cost(outer, inner, est.rows)
+        return
+    if isinstance(node, ph.HashAggregate):
+        profile.cpu_seconds += cm.hash_agg_cost(
+            node.child.estimates.rows, est.rows)
+        return
+    if isinstance(node, ph.StreamAggregate):
+        profile.cpu_seconds += cm.stream_agg_cost(node.child.estimates.rows)
+        return
+    if isinstance(node, ph.Sort):
+        profile.cpu_seconds += cm.sort_cost(node.child.estimates.rows)
+        return
+    if isinstance(node, ph.Filter):
+        profile.cpu_seconds += cm.filter_cost(node.child.estimates.rows)
+        return
+    if isinstance(node, ph.Project):
+        profile.cpu_seconds += cm.project_cost(node.child.estimates.rows)
+        return

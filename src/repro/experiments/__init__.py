@@ -1,0 +1,32 @@
+"""The experiment harness: one module per reproduced artifact.
+
+``runner`` turns an :class:`~repro.experiments.runner.ExperimentConfig`
+into an :class:`~repro.experiments.runner.ExperimentResult`;
+``figures`` reproduces each figure of the paper; ``ablations`` covers
+the design choices the paper reports tuning (monitor count, dynamic
+thresholds, best-plan-so-far).
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    PRESETS,
+    run_experiment,
+)
+from repro.experiments.figures import (
+    ThroughputComparison,
+    figure1_monitors,
+    figure2_trace,
+    throughput_figure,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PRESETS",
+    "ThroughputComparison",
+    "figure1_monitors",
+    "figure2_trace",
+    "run_experiment",
+    "throughput_figure",
+]

@@ -1,0 +1,115 @@
+"""Ablations of the design choices the paper reports tuning (§4.1).
+
+* gateway count — "Experimental analysis showed that dividing query
+  compilations into four memory usage categories gives the best
+  balance";
+* static vs dynamic thresholds (extension a);
+* best-plan-so-far vs hard out-of-memory failures (extension b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import (
+    GatewayConfig,
+    ServerConfig,
+    ThrottleConfig,
+    default_gateways,
+    paper_server_config,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    make_workload,
+    run_experiment,
+)
+from repro.units import MiB
+
+
+def gateway_ladder(count: int) -> Tuple[GatewayConfig, ...]:
+    """The first ``count`` monitors of the default ladder (0 = throttle
+    disabled entirely)."""
+    if not 0 <= count <= 3:
+        raise ValueError("gateway count must be 0..3")
+    return default_gateways()[:count]
+
+
+def config_with_gateways(count: int) -> ServerConfig:
+    """A paper config restricted to ``count`` monitors."""
+    base = paper_server_config(throttling=count > 0)
+    if count == 0:
+        return base
+    throttle = replace(base.throttle, gateways=gateway_ladder(count))
+    return replace(base, throttle=throttle)
+
+
+def config_with_dynamic(dynamic: bool) -> ServerConfig:
+    base = paper_server_config(throttling=True)
+    return replace(base, throttle=replace(base.throttle,
+                                          dynamic_thresholds=dynamic))
+
+
+def config_with_best_plan(enabled: bool) -> ServerConfig:
+    base = paper_server_config(throttling=True)
+    return replace(base, throttle=replace(base.throttle,
+                                          best_plan_so_far=enabled))
+
+
+@dataclass
+class AblationResult:
+    """One ablation sweep: variant label -> run result."""
+
+    name: str
+    results: Dict[str, ExperimentResult]
+
+    def completions(self) -> Dict[str, int]:
+        return {label: r.completed for label, r in self.results.items()}
+
+    def errors(self) -> Dict[str, int]:
+        return {label: r.failed for label, r in self.results.items()}
+
+
+def _run_variants(name: str, variants: Dict[str, ServerConfig],
+                  clients: int, preset: str, seed: int,
+                  workload_name: str = "sales") -> AblationResult:
+    workload = make_workload(workload_name)
+    results: Dict[str, ExperimentResult] = {}
+    for label, server_config in variants.items():
+        config = ExperimentConfig(
+            workload=workload_name, clients=clients,
+            throttling=server_config.throttle.enabled, preset=preset,
+            seed=seed, server_overrides=server_config)
+        results[label] = run_experiment(config, workload=workload)
+    return AblationResult(name=name, results=results)
+
+
+def ablate_gateway_count(clients: int = 30, preset: str = "smoke",
+                         seed: int = 1) -> AblationResult:
+    """ABL-GATES: 0, 1, 2 and 3 monitors."""
+    variants = {f"{n}_monitors": config_with_gateways(n)
+                for n in (0, 1, 2, 3)}
+    return _run_variants("gateway_count", variants, clients, preset, seed)
+
+
+def ablate_dynamic_thresholds(clients: int = 35, preset: str = "smoke",
+                              seed: int = 1) -> AblationResult:
+    """ABL-DYN: static vs broker-driven thresholds."""
+    variants = {
+        "static": config_with_dynamic(False),
+        "dynamic": config_with_dynamic(True),
+    }
+    return _run_variants("dynamic_thresholds", variants, clients, preset,
+                         seed)
+
+
+def ablate_best_plan(clients: int = 40, preset: str = "smoke",
+                     seed: int = 1) -> AblationResult:
+    """ABL-BPSF: best-plan-so-far on/off."""
+    variants = {
+        "hard_oom": config_with_best_plan(False),
+        "best_plan": config_with_best_plan(True),
+    }
+    return _run_variants("best_plan_so_far", variants, clients, preset,
+                         seed)

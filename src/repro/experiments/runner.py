@@ -1,0 +1,167 @@
+"""Generic experiment runner.
+
+All durations in :class:`ExperimentConfig` are expressed in *paper
+seconds* (the testbed's wall clock); ``time_scale`` compresses them for
+simulation and results are reported back in paper seconds, so every
+harness prints series directly comparable to the figures.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ServerConfig, paper_server_config
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.server.server import DatabaseServer
+from repro.workload.base import Workload
+from repro.workload.loadgen import ClientStats, LoadGenerator
+from repro.workload.oltp import OltpWorkload
+from repro.workload.sales import SalesWorkload
+from repro.workload.tpch import TpchWorkload
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A fidelity/runtime trade-off for the harness."""
+
+    name: str
+    #: warm-up excluded from measurements (paper: first 10 800 s)
+    warmup: float
+    #: measured window after warm-up (paper: 10 800 s → 28 800 s)
+    measure: float
+    #: figure bucket width (one point = completions per bucket)
+    bucket: float
+    #: simulation time compression
+    time_scale: float
+    #: optimizer effort/memory trade (ServerConfig.fast factor)
+    fast_factor: float
+
+
+#: fidelity presets: "paper" replays the full experiment; "scaled" keeps
+#: every ratio but compresses the run for benchmarks; "smoke" is for tests
+PRESETS: Dict[str, Preset] = {
+    "paper": Preset("paper", warmup=10800.0, measure=18000.0,
+                    bucket=600.0, time_scale=1.0, fast_factor=1.0),
+    "scaled": Preset("scaled", warmup=2400.0, measure=4800.0,
+                     bucket=600.0, time_scale=1.0, fast_factor=4.0),
+    "smoke": Preset("smoke", warmup=1200.0, measure=1800.0,
+                    bucket=600.0, time_scale=1.0, fast_factor=8.0),
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """One fully-specified run."""
+
+    workload: str = "sales"
+    clients: int = 30
+    throttling: bool = True
+    preset: str = "scaled"
+    seed: int = 1
+    think_time: float = 15.0
+    #: overrides applied to the ServerConfig after preset handling
+    server_overrides: Optional[ServerConfig] = None
+
+    def build_server_config(self) -> ServerConfig:
+        preset = PRESETS[self.preset]
+        base = self.server_overrides or paper_server_config()
+        cfg = base.with_throttling(self.throttling)
+        cfg = cfg.scaled(preset.time_scale)
+        if preset.fast_factor != 1.0:
+            cfg = cfg.fast(preset.fast_factor)
+        return cfg
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate a workload by name."""
+    factories = {
+        "sales": SalesWorkload,
+        "tpch": TpchWorkload,
+        "oltp": OltpWorkload,
+    }
+    try:
+        return factories[name](scale=scale)
+    except KeyError:
+        raise ConfigurationError(f"unknown workload {name!r}") from None
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run (times in paper seconds)."""
+
+    config: ExperimentConfig
+    #: (bucket_start, completions) covering the measured window
+    throughput: List[Tuple[float, int]]
+    completed: int
+    failed: int
+    error_counts: Dict[str, int]
+    degraded: int
+    retries: int
+    mean_compile_time: float
+    mean_execution_time: float
+    #: mean memory by clerk over the measured window (bytes)
+    memory_by_clerk: Dict[str, float]
+    gateway_stats: List[Tuple[str, int, int, float]]
+    wall_seconds: float
+
+    @property
+    def mean_per_bucket(self) -> float:
+        if not self.throughput:
+            return 0.0
+        return sum(c for _, c in self.throughput) / len(self.throughput)
+
+
+def run_experiment(config: ExperimentConfig,
+                   workload: Optional[Workload] = None) -> ExperimentResult:
+    """Execute one run and collect its results.
+
+    ``workload`` can be passed pre-built so a catalog is shared between
+    runs of a comparison (building it is cheap, but sharing guarantees
+    identical schemas).
+    """
+    preset = PRESETS[config.preset]
+    scale = preset.time_scale
+    server_config = config.build_server_config()
+    workload = workload or make_workload(config.workload)
+    catalog = workload.build_catalog()
+
+    metrics = MetricsCollector(bucket_width=preset.bucket / scale)
+    server = DatabaseServer(server_config, catalog, metrics=metrics)
+    duration_sim = (preset.warmup + preset.measure) / scale
+    generator = LoadGenerator(
+        server, workload, clients=config.clients, duration=duration_sim,
+        metrics=metrics, seed=config.seed,
+        think_time=config.think_time)
+
+    started = time.time()
+    generator.run()
+    wall = time.time() - started
+
+    warm_sim = preset.warmup / scale
+    series = [(t * scale, count)
+              for t, count in metrics.throughput_series(
+                  warm_sim, duration_sim)]
+    totals = generator.totals()
+    memory = {clerk: trace.mean(warm_sim, duration_sim)
+              for clerk, trace in metrics.memory.items()}
+    gateways = [(g.name, g.stats.acquires, g.stats.timeouts,
+                 g.stats.mean_wait() * scale)
+                for g in server.governor.gateways]
+    return ExperimentResult(
+        config=config,
+        throughput=series,
+        completed=metrics.successes(warm_sim, duration_sim),
+        failed=metrics.failure_total(),
+        error_counts=dict(metrics.error_counts),
+        degraded=metrics.degraded_count(),
+        retries=totals.retries,
+        mean_compile_time=metrics.mean_compile_time() * scale,
+        mean_execution_time=metrics.mean_execution_time() * scale,
+        memory_by_clerk=memory,
+        gateway_stats=gateways,
+        wall_seconds=wall,
+    )

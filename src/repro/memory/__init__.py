@@ -1,0 +1,16 @@
+"""Physical-memory accounting.
+
+The :class:`~repro.memory.manager.MemoryManager` owns the machine's byte
+budget.  Subcomponents allocate through named
+:class:`~repro.memory.clerk.MemoryClerk` objects (the SQL Server term),
+which is what gives the Memory Broker a per-component breakdown to
+monitor and steer.  Individual compilations track their own usage in a
+:class:`~repro.memory.account.MemoryAccount`, which is what the
+throttling gateways key off.
+"""
+
+from repro.memory.account import MemoryAccount
+from repro.memory.clerk import MemoryClerk
+from repro.memory.manager import MemoryManager
+
+__all__ = ["MemoryAccount", "MemoryClerk", "MemoryManager"]

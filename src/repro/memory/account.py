@@ -1,0 +1,81 @@
+"""Per-task memory accounting.
+
+A :class:`MemoryAccount` tracks the bytes one *task* (one query
+compilation) has taken from its clerk.  The throttling governor hooks
+the account's allocation path: §4.1 — "the blocking is tied to the
+amount of memory allocated by the task instead of specific points during
+the query compilation process."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import AccountClosedError
+from repro.memory.clerk import MemoryClerk
+
+#: observer invoked *after* a successful allocation with the account
+AllocationHook = Callable[["MemoryAccount", int], None]
+
+
+class MemoryAccount:
+    """Bytes charged to a single task, drawn from a shared clerk."""
+
+    def __init__(self, clerk: MemoryClerk, label: str = ""):
+        self.clerk = clerk
+        self.label = label
+        self._used = 0
+        self.peak = 0
+        self.total_allocated = 0
+        self._closed = False
+        self._hooks: List[AllocationHook] = []
+
+    @property
+    def used(self) -> int:
+        """Bytes this task currently holds."""
+        return self._used
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def add_hook(self, hook: AllocationHook) -> None:
+        """Register an observer called after each successful allocation."""
+        self._hooks.append(hook)
+
+    def allocate(self, nbytes: int) -> None:
+        """Charge ``nbytes`` to this task (may raise OutOfMemoryError)."""
+        if self._closed:
+            raise AccountClosedError(f"account {self.label!r} is closed")
+        self.clerk.allocate(nbytes)
+        self._used += nbytes
+        self.total_allocated += nbytes
+        if self._used > self.peak:
+            self.peak = self._used
+        for hook in self._hooks:
+            hook(self, nbytes)
+
+    def free(self, nbytes: int) -> None:
+        """Return part of this task's memory."""
+        if nbytes > self._used:
+            raise AccountClosedError(
+                f"account {self.label!r} freeing {nbytes} > used {self._used}")
+        self.clerk.free(nbytes)
+        self._used -= nbytes
+
+    def close(self) -> int:
+        """Release everything and refuse further allocations.
+
+        Idempotent; returns the number of bytes released.
+        """
+        if self._closed:
+            return 0
+        released = self._used
+        if released:
+            self.clerk.free(released)
+            self._used = 0
+        self._closed = True
+        return released
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemoryAccount {self.label!r} used={self._used}>"

@@ -1,0 +1,66 @@
+"""Per-subcomponent allocation interface (a SQL Server "memory clerk").
+
+Each DBMS subcomponent — buffer pool, compilation, execution workspace,
+plan cache — allocates through its own clerk, so the manager and the
+Memory Broker always know *who* owns every byte.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.manager import MemoryManager
+
+
+class MemoryClerk:
+    """A named window onto the machine-wide :class:`MemoryManager`."""
+
+    def __init__(self, name: str, manager: "MemoryManager"):
+        self.name = name
+        self.manager = manager
+        self._used = 0
+        #: lifetime bytes allocated (diagnostics)
+        self.total_allocated = 0
+        #: high-water mark of concurrent usage
+        self.peak = 0
+
+    @property
+    def used(self) -> int:
+        """Bytes this clerk currently holds."""
+        return self._used
+
+    def allocate(self, nbytes: int) -> None:
+        """Take ``nbytes`` from physical memory; may trigger cache
+        reclamation; raises :class:`~repro.errors.OutOfMemoryError`."""
+        self.manager._allocate(self, nbytes)
+        self._used += nbytes
+        self.total_allocated += nbytes
+        if self._used > self.peak:
+            self.peak = self._used
+
+    def try_allocate(self, nbytes: int) -> bool:
+        """Take ``nbytes`` only if free memory covers it (no reclaim)."""
+        ok = self.manager.try_allocate(self, nbytes)
+        if ok:
+            self.total_allocated += nbytes
+            if self._used > self.peak:
+                self.peak = self._used
+        return ok
+
+    def free(self, nbytes: int) -> None:
+        """Return ``nbytes`` to physical memory."""
+        self.manager._free(self, nbytes)
+        self._used -= nbytes
+
+    def free_all(self) -> int:
+        """Return everything this clerk holds; returns the byte count."""
+        released = self._used
+        if released:
+            self.free(released)
+        return released
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemoryClerk {self.name!r} used={self._used}>"

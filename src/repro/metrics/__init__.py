@@ -1,0 +1,21 @@
+"""Measurement: time series, per-query records, reports.
+
+The collector reproduces the paper's measurement protocol: completions
+bucketed into time slices (Figures 3–5 plot "successful query
+completions since the last point in time"), an error taxonomy
+(out-of-memory vs gateway timeout vs grant timeout), and per-clerk
+memory traces sampled on the broker cadence.
+"""
+
+from repro.metrics.timeseries import BucketSeries, GaugeSeries
+from repro.metrics.collector import MetricsCollector, QueryRecord
+from repro.metrics.report import ascii_chart, render_table
+
+__all__ = [
+    "BucketSeries",
+    "GaugeSeries",
+    "MetricsCollector",
+    "QueryRecord",
+    "ascii_chart",
+    "render_table",
+]

@@ -1,0 +1,96 @@
+"""The per-run metrics collector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.timeseries import BucketSeries, GaugeSeries
+
+
+@dataclass
+class QueryRecord:
+    """Everything measured about one query attempt."""
+
+    client: int
+    template: str
+    submitted: float
+    finished: float
+    ok: bool
+    error_kind: Optional[str] = None
+    cached_plan: bool = False
+    degraded_plan: bool = False
+    compile_time: float = 0.0
+    gateway_wait: float = 0.0
+    grant_wait: float = 0.0
+    execution_time: float = 0.0
+    compile_peak_bytes: int = 0
+    spilled: bool = False
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished - self.submitted
+
+
+class MetricsCollector:
+    """Aggregates query outcomes and memory traces for one run."""
+
+    def __init__(self, bucket_width: float = 600.0):
+        self.bucket_width = bucket_width
+        self.completions = BucketSeries(bucket_width)
+        self.failures = BucketSeries(bucket_width)
+        self.records: List[QueryRecord] = []
+        self.error_counts: Dict[str, int] = {}
+        #: clerk name -> usage trace
+        self.memory: Dict[str, GaugeSeries] = {}
+        self.total_memory = GaugeSeries()
+
+    # -- query outcomes ------------------------------------------------------
+    def record_query(self, record: QueryRecord) -> None:
+        self.records.append(record)
+        if record.ok:
+            self.completions.record(record.finished)
+        else:
+            self.failures.record(record.finished)
+            kind = record.error_kind or "unknown"
+            self.error_counts[kind] = self.error_counts.get(kind, 0) + 1
+
+    # -- memory sampling --------------------------------------------------------
+    def sample_memory(self, t: float, usage_by_clerk: Dict[str, int]) -> None:
+        total = 0
+        for clerk, used in usage_by_clerk.items():
+            series = self.memory.get(clerk)
+            if series is None:
+                series = GaugeSeries()
+                self.memory[clerk] = series
+            series.record(t, used)
+            total += used
+        self.total_memory.record(t, total)
+
+    # -- summaries ----------------------------------------------------------------
+    def throughput_series(self, t_from: float, t_to: float):
+        return self.completions.series(t_from, t_to)
+
+    def successes(self, t_from: Optional[float] = None,
+                  t_to: Optional[float] = None) -> int:
+        return self.completions.total(t_from, t_to)
+
+    def failure_total(self) -> int:
+        return self.failures.total()
+
+    def success_rate(self) -> float:
+        ok = self.completions.total()
+        bad = self.failures.total()
+        return ok / (ok + bad) if (ok + bad) else 0.0
+
+    def degraded_count(self) -> int:
+        return sum(1 for r in self.records if r.ok and r.degraded_plan)
+
+    def mean_compile_time(self) -> float:
+        times = [r.compile_time for r in self.records
+                 if r.ok and not r.cached_plan]
+        return sum(times) / len(times) if times else 0.0
+
+    def mean_execution_time(self) -> float:
+        times = [r.execution_time for r in self.records if r.ok]
+        return sum(times) / len(times) if times else 0.0

@@ -1,0 +1,76 @@
+"""Plain-text rendering of results: tables and ASCII charts.
+
+The benchmark harness prints the paper's figures as aligned series
+tables plus a quick ASCII chart, so the shape (who wins, where the
+knee is) is visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned fixed-width text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_format_cell(value) for value in row])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        line = "  ".join(value.rjust(width)
+                         for value, width in zip(row, widths))
+        lines.append(line)
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def ascii_chart(series: Dict[str, List[Tuple[float, float]]],
+                height: int = 12, width: int = 64,
+                title: str = "") -> str:
+    """Plot one or more (t, value) series as an ASCII chart.
+
+    Each series gets a marker character; markers overwrite left to
+    right in declaration order.
+    """
+    markers = "*o+x#@"
+    points: List[Tuple[float, float, str]] = []
+    for index, (_name, data) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for t, v in data:
+            points.append((t, v, marker))
+    if not points:
+        return f"{title}\n(no data)"
+    t_min = min(p[0] for p in points)
+    t_max = max(p[0] for p in points)
+    v_max = max(p[1] for p in points) or 1.0
+    t_span = (t_max - t_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for t, v, marker in points:
+        col = int((t - t_min) / t_span * (width - 1))
+        row = height - 1 - int(min(v, v_max) / v_max * (height - 1))
+        grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{markers[i % len(markers)]}={name}"
+                        for i, name in enumerate(series))
+    lines.append(legend)
+    lines.append(f"{v_max:>8.1f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{0.0:>8.1f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    lines.append(f"{'':8}  {t_min:<12.0f}{'time (s)':^40}{t_max:>12.0f}")
+    return "\n".join(lines)

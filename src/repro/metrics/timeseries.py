@@ -1,0 +1,92 @@
+"""Small time-series containers for simulation measurements."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class BucketSeries:
+    """Counts events into fixed-width time buckets.
+
+    This is the paper's figures' x-axis: "the number of successful
+    query completions since the last point in time."
+    """
+
+    def __init__(self, bucket_width: float, start: float = 0.0):
+        if bucket_width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_width = bucket_width
+        self.start = start
+        self._counts: Dict[int, int] = {}
+
+    def record(self, t: float, count: int = 1) -> None:
+        index = int((t - self.start) // self.bucket_width)
+        self._counts[index] = self._counts.get(index, 0) + count
+
+    def bucket_time(self, index: int) -> float:
+        """Left edge of bucket ``index``."""
+        return self.start + index * self.bucket_width
+
+    def series(self, t_from: float, t_to: float) -> List[Tuple[float, int]]:
+        """(bucket_start, count) pairs covering [t_from, t_to), holes
+        filled with zeros."""
+        first = int((t_from - self.start) // self.bucket_width)
+        last = int((t_to - self.start) // self.bucket_width)
+        return [(self.bucket_time(i), self._counts.get(i, 0))
+                for i in range(first, last)]
+
+    def total(self, t_from: Optional[float] = None,
+              t_to: Optional[float] = None) -> int:
+        if t_from is None and t_to is None:
+            return sum(self._counts.values())
+        out = 0
+        for index, count in self._counts.items():
+            t = self.bucket_time(index)
+            if t_from is not None and t < t_from:
+                continue
+            if t_to is not None and t >= t_to:
+                continue
+            out += count
+        return out
+
+
+class GaugeSeries:
+    """Timestamped samples of a continuous quantity (memory usage)."""
+
+    def __init__(self):
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self._times and t < self._times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        self._times.append(t)
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> Sequence[float]:
+        return self._times
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self._values
+
+    def at(self, t: float) -> float:
+        """Last sample at or before ``t`` (0.0 before the first)."""
+        index = bisect_right(self._times, t) - 1
+        return self._values[index] if index >= 0 else 0.0
+
+    def mean(self, t_from: Optional[float] = None,
+             t_to: Optional[float] = None) -> float:
+        values = [v for t, v in zip(self._times, self._values)
+                  if (t_from is None or t >= t_from)
+                  and (t_to is None or t < t_to)]
+        return sum(values) / len(values) if values else 0.0
+
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0

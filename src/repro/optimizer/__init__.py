@@ -1,0 +1,32 @@
+"""A Cascades-style query optimizer.
+
+The optimizer is the paper's memory consumer of interest: it "considers
+a number of functionally equivalent alternatives … this entire process
+uses memory to store the different alternatives for the duration of the
+optimization process" (§2.1).  Here that is literal — alternatives live
+in a :class:`~repro.optimizer.memo.Memo`, whose footprint grows with
+every transformation-rule application, and the compilation pipeline
+charges that footprint to the task's memory account, which is what the
+throttling gateways observe.
+
+Search is *staged* (dynamic optimization, §5.1): a cheap heuristic plan
+first (always available as the best-plan-so-far fallback), then
+exploration rounds whose budget scales with the estimated cost of the
+query.
+"""
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.memo import Memo, Group, GroupExpression
+from repro.optimizer.optimizer import OptimizationResult, Optimizer, OptStep
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "Group",
+    "GroupExpression",
+    "Memo",
+    "OptimizationResult",
+    "Optimizer",
+    "OptStep",
+]

@@ -1,0 +1,497 @@
+"""The staged optimization driver.
+
+One :class:`OptimizationTask` optimizes one bound query.  Its
+:meth:`~OptimizationTask.steps` generator emits :class:`OptStep`
+increments — (work units, CPU seconds, newly allocated bytes) — so the
+compilation pipeline can charge memory to the task's account and CPU to
+the scheduler *between* optimizer steps.  That is the integration point
+the paper's gateways need: blocking keyed to the bytes the task has
+allocated so far, not to fixed pipeline stages.
+
+Search is staged, emulating SQL Server's dynamic optimization: a greedy
+heuristic join order seeds the memo (stage 0 — this plan is always
+available as the best-plan-so-far fallback); exploration rounds then
+apply transformation rules under a work budget that scales with the
+estimated cost of the query, with an implementation (costing) pass at
+each stage boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import SimulationError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.memo import Group, GroupExpression, GroupStats, Memo
+from repro.optimizer.rules import DEFAULT_RULES, GroupRef, Rule, RuleContext
+from repro.plans import expressions as ex
+from repro.plans import logical as lg
+from repro.plans import physical as ph
+from repro.sql.binder import BoundQuery
+from repro.units import KiB, MiB
+
+#: simulated bytes of parse/bind structures per referenced table
+BASE_BYTES_PER_TABLE = 192 * KiB
+#: CPU seconds per exploration work unit (on one paper-testbed CPU)
+CPU_PER_UNIT = 0.011
+#: exploration units per steps() yield
+BATCH_UNITS = 50
+#: budget clamp (units)
+MIN_BUDGET = 30
+MAX_BUDGET = 3000
+#: fraction of the budget spent before the first re-costing pass
+STAGE_BOUNDARIES = (0.3, 1.0)
+
+
+@dataclass
+class OptStep:
+    """One increment of optimization progress."""
+
+    phase: str
+    work_units: int
+    cpu_seconds: float
+    alloc_bytes: int
+
+
+@dataclass
+class OptimizationResult:
+    """The optimizer's output for one query."""
+
+    plan: ph.PhysicalNode
+    cost: float
+    memo_bytes: int
+    work_units: int
+    stage: int
+    #: True when this is a best-plan-so-far fallback rather than the
+    #: fully-optimized plan (extension (b) of the paper)
+    degraded: bool = False
+
+
+class Optimizer:
+    """Per-server optimizer factory (stateless across queries)."""
+
+    def __init__(self, catalog: Catalog,
+                 cost_model: Optional[CostModel] = None,
+                 rules: Tuple[Rule, ...] = DEFAULT_RULES,
+                 effort_multiplier: float = 1.0,
+                 memory_multiplier: float = 1.0):
+        self.catalog = catalog
+        self.estimator = CardinalityEstimator(catalog)
+        self.cost_model = cost_model or CostModel()
+        self.rules = rules
+        #: scales every budget; lets experiments ablate optimizer effort
+        self.effort_multiplier = effort_multiplier
+        #: scales simulated memo bytes; paired with a reduced effort it
+        #: preserves the full-effort memory profile at lower CPU cost
+        self.memory_multiplier = memory_multiplier
+
+    def task(self, bound: BoundQuery) -> "OptimizationTask":
+        """A fresh optimization task for one bound query."""
+        return OptimizationTask(self, bound)
+
+    def optimize(self, bound: BoundQuery) -> OptimizationResult:
+        """Run a task to completion synchronously (tests, examples)."""
+        task = self.task(bound)
+        for _ in task.steps():
+            pass
+        result = task.result
+        if result is None:
+            raise SimulationError("optimization finished without a result")
+        return result
+
+
+class OptimizationTask:
+    """State of one in-flight query optimization."""
+
+    def __init__(self, optimizer: Optimizer, bound: BoundQuery):
+        self.opt = optimizer
+        self.bound = bound
+        self.memo = Memo()
+        self.memo.base_bytes = BASE_BYTES_PER_TABLE * max(1, bound.table_count)
+        self.memo.byte_multiplier = optimizer.memory_multiplier
+        self._charged_bytes = 0
+        self._work_units = 0
+        self._stage = 0
+        self._best: Optional[OptimizationResult] = None
+        self.result: Optional[OptimizationResult] = None
+        self._ctx = RuleContext(self.memo)
+        self._alias_tables = dict(bound.aliases)
+
+    # ------------------------------------------------------------------ API
+    def steps(self) -> Iterator[OptStep]:
+        """The incremental search generator (see module docstring)."""
+        # -- stage 0: the syntactic (FROM-order) left-deep tree.  This
+        # is the optimizer's always-available fallback plan; exploration
+        # then reorders joins from it.
+        root_gid = self._insert(self.bound.root)
+        self._work_units += self.bound.table_count
+        yield self._make_step("stage0", self.bound.table_count)
+
+        self._implement_pass(root_gid, stage=0)
+        self._work_units += self.memo.group_count
+        yield self._make_step("implement", self.memo.group_count)
+
+        assert self._best is not None
+        budget = self._budget(self._best.cost)
+
+        # -- exploration stages --------------------------------------------
+        frontier: deque = deque()
+        for gexpr in self.memo.expressions():
+            for rule in self.opt.rules:
+                frontier.append((gexpr, rule))
+        spent = 0
+        for boundary_index, boundary in enumerate(STAGE_BOUNDARIES, start=1):
+            limit = int(budget * boundary)
+            while frontier and spent < limit:
+                batch = min(BATCH_UNITS, limit - spent)
+                done = self._explore_batch(frontier, batch)
+                if done == 0:
+                    break
+                spent += done
+                self._work_units += done
+                yield self._make_step("explore", done)
+            self._implement_pass(root_gid, stage=boundary_index)
+            self._work_units += self.memo.group_count
+            yield self._make_step("implement", self.memo.group_count)
+            if not frontier:
+                break
+
+        assert self._best is not None
+        self.result = self._best
+        return
+
+    def best_plan_so_far(self) -> Optional[OptimizationResult]:
+        """The best complete plan found so far, flagged as degraded.
+
+        This is the paper's extension (b): under memory pressure the
+        server returns "the best plan from the set of already explored
+        plans instead of simply returning out-of-memory errors."
+        """
+        if self._best is None:
+            return None
+        best = self._best
+        return OptimizationResult(
+            plan=best.plan, cost=best.cost, memo_bytes=self.memo.bytes_used,
+            work_units=self._work_units, stage=best.stage, degraded=True)
+
+    @property
+    def bytes_used(self) -> int:
+        return self.memo.bytes_used
+
+    # ------------------------------------------------------- search internals
+    def _make_step(self, phase: str, units: int) -> OptStep:
+        delta = self.memo.bytes_used - self._charged_bytes
+        self._charged_bytes = self.memo.bytes_used
+        # CPU per unit is scaled inversely with effort so a low-effort
+        # search models the same optimization *time* with fewer steps
+        cpu = units * CPU_PER_UNIT / self.opt.effort_multiplier
+        return OptStep(phase=phase, work_units=units,
+                       cpu_seconds=cpu, alloc_bytes=max(0, delta))
+
+    def _budget(self, estimated_cost: float) -> int:
+        """Dynamic optimization: effort scales with estimated cost."""
+        njoins = self.bound.join_count
+        if njoins == 0:
+            return MIN_BUDGET
+        units = int(estimated_cost * 8.0 * (1.0 + njoins / 4.0)
+                    * self.opt.effort_multiplier)
+        return max(MIN_BUDGET, min(MAX_BUDGET, units))
+
+    def _explore_batch(self, frontier: deque, max_units: int) -> int:
+        """Apply up to ``max_units`` (expression, rule) attempts."""
+        done = 0
+        while frontier and done < max_units:
+            gexpr, rule = frontier.popleft()
+            done += 1
+            if rule.name in gexpr.applied_rules:
+                continue
+            gexpr.applied_rules.add(rule.name)
+            if not rule.matches(gexpr, self._ctx):
+                continue
+            for tree in rule.apply(gexpr, self._ctx):
+                created: List[GroupExpression] = []
+                self._insert(tree, target_group=gexpr.group_id,
+                             created=created)
+                for new_gexpr in created:
+                    if rule.name == "join_commute":
+                        # a commuted join must not commute straight back
+                        new_gexpr.applied_rules.add("join_commute")
+                    for r in self.opt.rules:
+                        frontier.append((new_gexpr, r))
+        return done
+
+    def _insert(self, tree: lg.LogicalNode,
+                target_group: Optional[int] = None,
+                created: Optional[List[GroupExpression]] = None) -> int:
+        gid = self._insert_tree(tree, target_group, created)
+        self._ensure_stats(gid)
+        return gid
+
+    def _insert_tree(self, node: lg.LogicalNode,
+                     target_group: Optional[int],
+                     created: Optional[List[GroupExpression]] = None) -> int:
+        if isinstance(node, GroupRef):
+            return node.group
+        child_ids = tuple(self._insert_tree(child, None, created)
+                          for child in node.children)
+        gexpr, was_created = self.memo.insert_expression(
+            node, child_ids, target_group)
+        if was_created and created is not None:
+            created.append(gexpr)
+        # stats for intermediate groups are needed by rule application
+        self._ensure_stats(gexpr.group_id)
+        return gexpr.group_id
+
+    # -------------------------------------------------------------- statistics
+    def _ensure_stats(self, gid: int) -> GroupStats:
+        group = self.memo.group(gid)
+        if group.stats is not None:
+            return group.stats
+        gexpr = group.expressions[0]
+        child_stats = [self._ensure_stats(c) for c in gexpr.children]
+        group.stats = self._derive_stats(gexpr.node, child_stats)
+        return group.stats
+
+    def _derive_stats(self, node: lg.LogicalNode,
+                      child_stats: List[GroupStats]) -> GroupStats:
+        est = self.opt.estimator
+        if isinstance(node, lg.LogicalGet):
+            rows = est.table_rows(node.table)
+            sel = est.local_selectivity(node.table, node.predicate)
+            return GroupStats(rows=max(1.0, rows * sel),
+                              width=est.table_width(node.table),
+                              aliases=frozenset({node.alias}))
+        if isinstance(node, lg.LogicalJoin):
+            left, right = child_stats
+            sel = est.join_selectivity(node.condition, self._alias_tables)
+            rows = max(1.0, left.rows * right.rows * sel)
+            return GroupStats(rows=rows, width=left.width + right.width,
+                              aliases=left.aliases | right.aliases)
+        if isinstance(node, lg.LogicalFilter):
+            (child,) = child_stats
+            sel = 1.0
+            for conjunct in ex.conjuncts(node.predicate):
+                sel *= 0.1
+            return GroupStats(rows=max(1.0, child.rows * sel),
+                              width=child.width, aliases=child.aliases)
+        if isinstance(node, lg.LogicalAggregate):
+            (child,) = child_stats
+            groups = est.group_count(node.keys, self._alias_tables,
+                                     child.rows)
+            width = 8.0 * (len(node.keys) + len(node.aggregates)) + 10.0
+            return GroupStats(rows=groups, width=width,
+                              aliases=child.aliases)
+        if isinstance(node, lg.LogicalProject):
+            (child,) = child_stats
+            width = 8.0 * max(1, len(node.exprs))
+            return GroupStats(rows=child.rows, width=width,
+                              aliases=child.aliases)
+        if isinstance(node, lg.LogicalSort):
+            (child,) = child_stats
+            return GroupStats(rows=child.rows, width=child.width,
+                              aliases=child.aliases)
+        raise SimulationError(f"no stats derivation for {node!r}")
+
+    # ---------------------------------------------------------- implementation
+    def _implement_pass(self, root_gid: int, stage: int) -> None:
+        """(Re-)cost the memo bottom-up and record the best full plan."""
+        for group in self.memo.groups:
+            group.best_cost = None
+        self._plan_cache: Dict[int, Tuple[float, ph.PhysicalNode]] = {}
+        cost, plan = self._best_plan(root_gid, frozenset())
+        if plan is None:
+            raise SimulationError("no physical plan produced")
+        result = OptimizationResult(
+            plan=plan, cost=cost, memo_bytes=self.memo.bytes_used,
+            work_units=self._work_units, stage=stage)
+        if self._best is None or cost <= self._best.cost:
+            self._best = result
+        else:
+            # keep the better previous plan but refresh bookkeeping
+            self._best = OptimizationResult(
+                plan=self._best.plan, cost=self._best.cost,
+                memo_bytes=self.memo.bytes_used,
+                work_units=self._work_units, stage=stage)
+
+    def _best_plan(self, gid: int,
+                   visiting: FrozenSet[int]
+                   ) -> Tuple[float, Optional[ph.PhysicalNode]]:
+        cached = self._plan_cache.get(gid)
+        if cached is not None:
+            return cached
+        if gid in visiting:
+            return math.inf, None
+        group = self.memo.group(gid)
+        visiting = visiting | {gid}
+        best: Tuple[float, Optional[ph.PhysicalNode]] = (math.inf, None)
+        for gexpr in group.expressions:
+            for candidate in self._implement_gexpr(gexpr, visiting):
+                if candidate[0] < best[0]:
+                    best = candidate
+        if best[1] is not None:
+            self._plan_cache[gid] = best
+            group.best_cost = best[0]
+        return best
+
+    def _implement_gexpr(self, gexpr: GroupExpression,
+                         visiting: FrozenSet[int]
+                         ) -> List[Tuple[float, ph.PhysicalNode]]:
+        node = gexpr.node
+        stats = self.memo.group(gexpr.group_id).stats
+        assert stats is not None
+        cm = self.opt.cost_model
+        est = self.opt.estimator
+        out: List[Tuple[float, ph.PhysicalNode]] = []
+
+        if isinstance(node, lg.LogicalGet):
+            table = self.opt.catalog.table(node.table)
+            offset, length = est.clustered_scan_window(
+                node.table, node.predicate)
+            cost = cm.scan_cost(table.nbytes, length, stats.rows)
+            scan = ph.TableScan(node.alias, node.table, node.predicate)
+            scan.scan_fraction = length
+            scan.scan_offset = offset
+            scan.estimates = ph.Estimates(
+                rows=stats.rows, bytes=stats.bytes, memory=0.0, cost=cost)
+            out.append((cost, scan))
+            return out
+
+        if isinstance(node, lg.LogicalJoin):
+            lcost, lplan = self._best_plan(gexpr.children[0], visiting)
+            rcost, rplan = self._best_plan(gexpr.children[1], visiting)
+            if lplan is None or rplan is None:
+                return out
+            lstats = self.memo.group(gexpr.children[0]).stats
+            rstats = self.memo.group(gexpr.children[1]).stats
+            build_keys, probe_keys, residual = _split_join_keys(
+                node.condition, lstats.aliases, rstats.aliases)
+            if build_keys:
+                # hash join, both build orders; the memory term biases
+                # the choice toward building on the smaller input
+                for build_stats, probe_stats, build_plan, probe_plan, \
+                        bkeys, pkeys in (
+                            (lstats, rstats, lplan, rplan,
+                             build_keys, probe_keys),
+                            (rstats, lstats, rplan, lplan,
+                             probe_keys, build_keys)):
+                    memory = cm.hash_join_memory(build_stats.bytes)
+                    cost = (lcost + rcost
+                            + cm.hash_join_cost(build_stats.rows,
+                                                probe_stats.rows,
+                                                stats.rows)
+                            + cm.memory_pressure_cost(memory))
+                    hj = ph.HashJoin(build_plan, probe_plan, bkeys, pkeys,
+                                     residual)
+                    hj.estimates = ph.Estimates(
+                        rows=stats.rows, bytes=stats.bytes,
+                        memory=memory, cost=cost)
+                    out.append((cost, hj))
+            else:
+                cost = (lcost + rcost + cm.nl_join_cost(
+                    lstats.rows, rstats.rows, stats.rows))
+                nl = ph.NestedLoopsJoin(lplan, rplan, node.condition)
+                nl.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes,
+                    memory=min(lstats.bytes, 64 * MiB), cost=cost)
+                out.append((cost, nl))
+            return out
+
+        if isinstance(node, lg.LogicalFilter):
+            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
+            if cplan is None:
+                return out
+            cstats = self.memo.group(gexpr.children[0]).stats
+            cost = ccost + cm.filter_cost(cstats.rows)
+            flt = ph.Filter(cplan, node.predicate)
+            flt.estimates = ph.Estimates(
+                rows=stats.rows, bytes=stats.bytes, memory=0.0, cost=cost)
+            out.append((cost, flt))
+            return out
+
+        if isinstance(node, lg.LogicalAggregate):
+            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
+            if cplan is None:
+                return out
+            cstats = self.memo.group(gexpr.children[0]).stats
+            # hash aggregate
+            cost = ccost + cm.hash_agg_cost(cstats.rows, stats.rows)
+            ha = ph.HashAggregate(cplan, node.keys, node.aggregates)
+            ha.estimates = ph.Estimates(
+                rows=stats.rows, bytes=stats.bytes,
+                memory=cm.hash_agg_memory(stats.rows, stats.width),
+                cost=cost)
+            out.append((cost, ha))
+            # sort + stream aggregate
+            if node.keys:
+                sort_cost = cm.sort_cost(cstats.rows)
+                total = ccost + sort_cost + cm.stream_agg_cost(cstats.rows)
+                sort = ph.Sort(cplan, node.keys)
+                sort.estimates = ph.Estimates(
+                    rows=cstats.rows, bytes=cstats.bytes,
+                    memory=cm.sort_memory(cstats.bytes),
+                    cost=ccost + sort_cost)
+                sa = ph.StreamAggregate(sort, node.keys, node.aggregates)
+                sa.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                    cost=total)
+                out.append((total, sa))
+            return out
+
+        if isinstance(node, lg.LogicalProject):
+            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
+            if cplan is None:
+                return out
+            cstats = self.memo.group(gexpr.children[0]).stats
+            cost = ccost + cm.project_cost(cstats.rows)
+            proj = ph.Project(cplan, node.exprs)
+            proj.estimates = ph.Estimates(
+                rows=stats.rows, bytes=stats.bytes, memory=0.0, cost=cost)
+            out.append((cost, proj))
+            return out
+
+        if isinstance(node, lg.LogicalSort):
+            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
+            if cplan is None:
+                return out
+            cstats = self.memo.group(gexpr.children[0]).stats
+            cost = ccost + cm.sort_cost(cstats.rows)
+            sort = ph.Sort(cplan, node.keys, node.descending)
+            sort.estimates = ph.Estimates(
+                rows=stats.rows, bytes=stats.bytes,
+                memory=cm.sort_memory(cstats.bytes), cost=cost)
+            out.append((cost, sort))
+            return out
+
+        raise SimulationError(f"no implementation for {node!r}")
+
+
+# -------------------------------------------------------------- tree helpers
+def _split_join_keys(condition: Optional[ex.Expr],
+                     left_aliases: FrozenSet[str],
+                     right_aliases: FrozenSet[str]):
+    """Separate equi-join keys (build/probe) from residual predicates."""
+    build_keys: List[ex.ColumnRef] = []
+    probe_keys: List[ex.ColumnRef] = []
+    residual: List[ex.Expr] = []
+    for conjunct in ex.conjuncts(condition):
+        if (isinstance(conjunct, ex.Comparison) and conjunct.is_equi_join):
+            lref = conjunct.left
+            rref = conjunct.right
+            assert isinstance(lref, ex.ColumnRef)
+            assert isinstance(rref, ex.ColumnRef)
+            if lref.alias in left_aliases and rref.alias in right_aliases:
+                build_keys.append(lref)
+                probe_keys.append(rref)
+                continue
+            if rref.alias in left_aliases and lref.alias in right_aliases:
+                build_keys.append(rref)
+                probe_keys.append(lref)
+                continue
+        residual.append(conjunct)
+    return (tuple(build_keys), tuple(probe_keys),
+            ex.make_conjunction(residual))

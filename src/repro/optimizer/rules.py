@@ -1,0 +1,132 @@
+"""Transformation rules.
+
+Rules rewrite group expressions into equivalent alternatives inside the
+memo.  Join commutativity and associativity together enumerate the
+bushy join-order space; the search driver bounds how much of that space
+is explored via its work budget, which is exactly the lever that makes
+large-query optimization memory-hungry but boundable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.plans import expressions as ex
+from repro.plans.logical import LogicalGet, LogicalJoin, LogicalNode
+from repro.optimizer.memo import GroupExpression, Memo
+
+
+@dataclass(frozen=True)
+class GroupRef(LogicalNode):
+    """Leaf placeholder pointing at an existing memo group."""
+
+    group: int
+
+    children = ()
+
+    def payload(self) -> tuple:  # pragma: no cover - never stored directly
+        return ("groupref", self.group)
+
+    def with_children(self, children):  # pragma: no cover
+        return self
+
+    def aliases(self) -> FrozenSet[str]:  # pragma: no cover
+        return frozenset()
+
+
+class RuleContext:
+    """What rules may ask about the memo: group alias sets."""
+
+    def __init__(self, memo: Memo):
+        self.memo = memo
+
+    def group_aliases(self, group_id: int) -> FrozenSet[str]:
+        stats = self.memo.group(group_id).stats
+        return stats.aliases if stats is not None else frozenset()
+
+
+class Rule:
+    """Base transformation rule."""
+
+    #: unique rule name, used for per-expression firing masks
+    name = "rule"
+
+    def matches(self, gexpr: GroupExpression, ctx: RuleContext) -> bool:
+        raise NotImplementedError
+
+    def apply(self, gexpr: GroupExpression,
+              ctx: RuleContext) -> List[LogicalNode]:
+        """Produce substitute trees (with GroupRef leaves) for the
+        expression's group."""
+        raise NotImplementedError
+
+
+class JoinCommutativity(Rule):
+    """Join(A, B) -> Join(B, A)."""
+
+    name = "join_commute"
+
+    def matches(self, gexpr: GroupExpression, ctx: RuleContext) -> bool:
+        return isinstance(gexpr.node, LogicalJoin)
+
+    def apply(self, gexpr: GroupExpression,
+              ctx: RuleContext) -> List[LogicalNode]:
+        node = gexpr.node
+        assert isinstance(node, LogicalJoin)
+        left, right = gexpr.children
+        return [LogicalJoin(GroupRef(right), GroupRef(left), node.condition)]
+
+
+class JoinAssociativity(Rule):
+    """Join(Join(A, B), C) -> Join(A, Join(B, C)).
+
+    Conditions from both joins are pooled and re-split: conjuncts whose
+    aliases fall entirely within B∪C move into the new inner join, the
+    rest stay on the new outer join.  Conjuncts referencing A together
+    with B or C must stay outer, which is what keeps the rewrite
+    semantics-preserving.
+    """
+
+    name = "join_assoc"
+
+    def matches(self, gexpr: GroupExpression, ctx: RuleContext) -> bool:
+        if not isinstance(gexpr.node, LogicalJoin):
+            return False
+        left_group = ctx.memo.group(gexpr.children[0])
+        return any(isinstance(child.node, LogicalJoin)
+                   for child in left_group.expressions)
+
+    def apply(self, gexpr: GroupExpression,
+              ctx: RuleContext) -> List[LogicalNode]:
+        node = gexpr.node
+        assert isinstance(node, LogicalJoin)
+        out: List[LogicalNode] = []
+        left_group = ctx.memo.group(gexpr.children[0])
+        right_id = gexpr.children[1]
+        c_aliases = ctx.group_aliases(right_id)
+        for inner in list(left_group.expressions):
+            if not isinstance(inner.node, LogicalJoin):
+                continue
+            a_id, b_id = inner.children
+            b_aliases = ctx.group_aliases(b_id)
+            pool = (ex.conjuncts(node.condition)
+                    + ex.conjuncts(inner.node.condition))
+            inner_scope = b_aliases | c_aliases
+            inner_conds = [p for p in pool
+                           if p.referenced_aliases() <= inner_scope]
+            outer_conds = [p for p in pool
+                           if not p.referenced_aliases() <= inner_scope]
+            # Refuse rewrites that would manufacture a cross product on
+            # the inner side unless the original was already one.
+            if not inner_conds and pool:
+                continue
+            new_inner = LogicalJoin(GroupRef(b_id), GroupRef(right_id),
+                                    ex.make_conjunction(inner_conds))
+            out.append(LogicalJoin(GroupRef(a_id), new_inner,
+                                   ex.make_conjunction(outer_conds)))
+        return out
+
+
+#: the default transformation rule set
+DEFAULT_RULES: Tuple[Rule, ...] = (JoinCommutativity(), JoinAssociativity())

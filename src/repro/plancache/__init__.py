@@ -1,0 +1,14 @@
+"""The compiled-plan cache.
+
+Caches compiled plans keyed by a hash of the (normalized) query text.
+The paper's SALES workload deliberately defeats this cache by making
+every query textually unique (§5.1), which turns the cache into a pure
+memory consumer — realistic ad-hoc plan-cache bloat — while the OLTP
+and TPC-H workloads benefit from it.  The cache registers a shrink
+callback with the memory manager and responds to broker SHRINK
+notifications by evicting cold plans.
+"""
+
+from repro.plancache.cache import CachedPlan, PlanCache
+
+__all__ = ["CachedPlan", "PlanCache"]

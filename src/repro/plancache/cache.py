@@ -1,0 +1,128 @@
+"""Hash-keyed plan cache with cost-aware clock eviction."""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import PlanCacheConfig
+from repro.memory.manager import MemoryManager
+
+
+def query_hash(text: str) -> str:
+    """Cache key for a query text (whitespace-insensitive)."""
+    normalized = " ".join(text.split()).lower()
+    return hashlib.sha1(normalized.encode()).hexdigest()
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry."""
+
+    key: str
+    plan: object
+    nbytes: int
+    compile_cost: float
+    hits: int = 0
+    inserted_at: float = 0.0
+    last_used: float = 0.0
+
+
+class PlanCache:
+    """LRU-with-cost plan cache backed by the ``plan_cache`` clerk."""
+
+    def __init__(self, manager: MemoryManager, config: PlanCacheConfig):
+        self.clerk = manager.clerk("plan_cache")
+        manager.register_shrinker("plan_cache", self.shrink)
+        self.config = config
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    # -- lookup -----------------------------------------------------------
+    def get(self, key: str, now: float = 0.0) -> Optional[CachedPlan]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry.hits += 1
+        entry.last_used = now
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, plan: object, nbytes: int,
+            compile_cost: float, now: float = 0.0) -> bool:
+        """Insert a plan; returns False if it could not be cached.
+
+        Never forces other components to give up memory: the cache only
+        grows into free memory, evicting its own cold entries first.
+        """
+        if key in self._entries:
+            return True
+        while (self.clerk.used + nbytes > self.config.max_bytes
+               and self._entries):
+            self._evict_one()
+        if self.clerk.used + nbytes > self.config.max_bytes:
+            return False
+        while not self.clerk.try_allocate(nbytes):
+            if not self._entries:
+                return False
+            self._evict_one()
+        entry = CachedPlan(key=key, plan=plan, nbytes=nbytes,
+                           compile_cost=compile_cost,
+                           inserted_at=now, last_used=now)
+        self._entries[key] = entry
+        self.insertions += 1
+        return True
+
+    # -- memory pressure ------------------------------------------------------
+    def shrink(self, goal: int) -> int:
+        """Evict cold plans until ``goal`` bytes are freed (manager
+        shrink callback and broker SHRINK handler)."""
+        freed = 0
+        while freed < goal and self._entries:
+            freed += self._evict_one()
+        return freed
+
+    def on_broker_notification(self, note) -> None:
+        """Broker subscriber: release a step of the cache on SHRINK."""
+        from repro.broker.broker import BrokerSignal
+
+        if note.signal is BrokerSignal.SHRINK:
+            overshoot = max(0, self.clerk.used - note.target)
+            step = int(self.clerk.used * self.config.shrink_step)
+            self.shrink(max(overshoot, step))
+
+    def _evict_one(self) -> int:
+        """Remove the least recently used entry, preferring cheap plans.
+
+        Scans the LRU end for the entry with the lowest
+        ``compile_cost`` among the two oldest — expensive plans get a
+        second chance, which is the "cost" part of SQL Server's
+        cost-based eviction clock.
+        """
+        keys = list(self._entries)
+        candidates = keys[:2]
+        victim_key = min(
+            candidates, key=lambda k: self._entries[k].compile_cost)
+        entry = self._entries.pop(victim_key)
+        self.clerk.free(entry.nbytes)
+        self.evictions += 1
+        return entry.nbytes
+
+    # -- introspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.clerk.used
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

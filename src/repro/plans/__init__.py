@@ -1,0 +1,49 @@
+"""Relational plan algebra shared by the binder, optimizer and executor.
+
+``expressions`` holds scalar expressions and predicates; ``logical``
+holds the optimizer's input algebra; ``physical`` holds the executable
+operators the optimizer's implementation rules produce.
+"""
+
+from repro.plans.expressions import (
+    Aggregate,
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Or,
+    conjuncts,
+    make_conjunction,
+)
+from repro.plans.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalSort,
+)
+from repro.plans.physical import (
+    Filter,
+    HashAggregate,
+    HashJoin,
+    NestedLoopsJoin,
+    PhysicalNode,
+    Project,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+
+__all__ = [
+    "Aggregate", "And", "Arithmetic", "Between", "ColumnRef", "Comparison",
+    "Expr", "Literal", "Or", "conjuncts", "make_conjunction",
+    "LogicalAggregate", "LogicalFilter", "LogicalGet", "LogicalJoin",
+    "LogicalNode", "LogicalProject", "LogicalSort",
+    "Filter", "HashAggregate", "HashJoin", "NestedLoopsJoin",
+    "PhysicalNode", "Project", "Sort", "StreamAggregate", "TableScan",
+]

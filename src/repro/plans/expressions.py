@@ -1,0 +1,233 @@
+"""Scalar expressions and predicates.
+
+All expression nodes are immutable and hashable so they can serve as
+parts of memo keys.  Column references are *bound*: they carry the
+relation alias assigned by the binder, which is unique within a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple, Union
+
+Value = Union[int, float, str]
+
+#: comparison operators supported by the front end
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class Expr:
+    """Base class for all scalar expressions."""
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        """Relation aliases this expression touches."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        """(alias, column) pairs this expression touches."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A reference to ``alias.column``."""
+
+    alias: str
+    column: str
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        return frozenset({self.alias})
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset({(self.alias, self.column)})
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value."""
+
+    value: Value
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """``left op right`` where op is one of =, <>, <, <=, >, >=."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        return self.left.referenced_aliases() | self.right.referenced_aliases()
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    @property
+    def is_equi_join(self) -> bool:
+        """True for ``a.x = b.y`` with two distinct relations."""
+        return (self.op == "="
+                and isinstance(self.left, ColumnRef)
+                and isinstance(self.right, ColumnRef)
+                and self.left.alias != self.right.alias)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr BETWEEN low AND high`` (inclusive)."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        return (self.expr.referenced_aliases()
+                | self.low.referenced_aliases()
+                | self.high.referenced_aliases())
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        return (self.expr.referenced_columns()
+                | self.low.referenced_columns()
+                | self.high.referenced_columns())
+
+    def __str__(self) -> str:
+        return f"{self.expr} BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of predicates."""
+
+    children: Tuple[Expr, ...]
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for child in self.children:
+            out |= child.referenced_aliases()
+        return out
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        out: FrozenSet[Tuple[str, str]] = frozenset()
+        for child in self.children:
+            out |= child.referenced_columns()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of predicates."""
+
+    children: Tuple[Expr, ...]
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for child in self.children:
+            out |= child.referenced_aliases()
+        return out
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        out: FrozenSet[Tuple[str, str]] = frozenset()
+        for child in self.children:
+            out |= child.referenced_columns()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """``left op right`` for op in +, -, *, / (used inside aggregates,
+    e.g. ``SUM(price * quantity)``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        return self.left.referenced_aliases() | self.right.referenced_aliases()
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+#: aggregate functions supported by the front end
+AGGREGATE_FUNCS = ("sum", "count", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """``FUNC(arg)``; arg is None for COUNT(*)."""
+
+    func: str
+    arg: Optional[Expr] = None
+    distinct: bool = False
+
+    def __post_init__(self):
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+
+    def referenced_aliases(self) -> FrozenSet[str]:
+        return self.arg.referenced_aliases() if self.arg else frozenset()
+
+    def referenced_columns(self) -> FrozenSet[Tuple[str, str]]:
+        return self.arg.referenced_columns() if self.arg else frozenset()
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func.upper()}({prefix}{inner})"
+
+
+# -- predicate helpers ---------------------------------------------------
+def conjuncts(predicate: Optional[Expr]) -> Tuple[Expr, ...]:
+    """Flatten a predicate into its top-level AND factors."""
+    if predicate is None:
+        return ()
+    if isinstance(predicate, And):
+        out = []
+        for child in predicate.children:
+            out.extend(conjuncts(child))
+        return tuple(out)
+    return (predicate,)
+
+
+def make_conjunction(parts) -> Optional[Expr]:
+    """Combine predicates with AND; None for an empty list."""
+    parts = tuple(p for p in parts if p is not None)
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)

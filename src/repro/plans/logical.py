@@ -1,0 +1,180 @@
+"""Logical operators — the optimizer's input algebra.
+
+Nodes form a tree (children embedded).  ``payload()`` returns the
+node's identity *excluding* children, which is what the memo uses for
+duplicate detection once children are replaced by group ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.plans.expressions import Aggregate, ColumnRef, Expr
+
+
+class LogicalNode:
+    """Base class for logical operators."""
+
+    children: Tuple["LogicalNode", ...] = ()
+
+    def payload(self) -> tuple:
+        """Hashable identity of this operator minus its children."""
+        raise NotImplementedError
+
+    def with_children(self, children: Tuple["LogicalNode", ...]) -> "LogicalNode":
+        """Copy of this node with different children."""
+        raise NotImplementedError
+
+    def aliases(self) -> FrozenSet[str]:
+        """Relation aliases produced by this subtree."""
+        out: FrozenSet[str] = frozenset()
+        for child in self.children:
+            out |= child.aliases()
+        return out
+
+
+@dataclass(frozen=True)
+class LogicalGet(LogicalNode):
+    """Scan of one base table under an alias, with an optional pushed
+    single-table predicate."""
+
+    alias: str
+    table: str
+    predicate: Optional[Expr] = None
+
+    children = ()
+
+    def payload(self) -> tuple:
+        return ("get", self.alias, self.table, self.predicate)
+
+    def with_children(self, children):
+        assert not children
+        return self
+
+    def aliases(self) -> FrozenSet[str]:
+        return frozenset({self.alias})
+
+    def __str__(self) -> str:
+        pred = f" [{self.predicate}]" if self.predicate else ""
+        return f"Get({self.table} AS {self.alias}){pred}"
+
+
+class LogicalJoin(LogicalNode):
+    """Inner join with an optional condition (None = cross product)."""
+
+    def __init__(self, left: LogicalNode, right: LogicalNode,
+                 condition: Optional[Expr] = None):
+        self.children = (left, right)
+        self.condition = condition
+
+    @property
+    def left(self) -> LogicalNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalNode:
+        return self.children[1]
+
+    def payload(self) -> tuple:
+        return ("join", self.condition)
+
+    def with_children(self, children):
+        assert len(children) == 2
+        return LogicalJoin(children[0], children[1], self.condition)
+
+    def __str__(self) -> str:
+        cond = f" ON {self.condition}" if self.condition else ""
+        return f"Join({self.left}, {self.right}){cond}"
+
+
+class LogicalFilter(LogicalNode):
+    """Residual predicate applied above a subtree."""
+
+    def __init__(self, child: LogicalNode, predicate: Expr):
+        self.children = (child,)
+        self.predicate = predicate
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    def payload(self) -> tuple:
+        return ("filter", self.predicate)
+
+    def with_children(self, children):
+        assert len(children) == 1
+        return LogicalFilter(children[0], self.predicate)
+
+    def __str__(self) -> str:
+        return f"Filter({self.child}, {self.predicate})"
+
+
+class LogicalProject(LogicalNode):
+    """Projection onto a list of expressions."""
+
+    def __init__(self, child: LogicalNode, exprs: Tuple[Expr, ...]):
+        self.children = (child,)
+        self.exprs = tuple(exprs)
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    def payload(self) -> tuple:
+        return ("project", self.exprs)
+
+    def with_children(self, children):
+        assert len(children) == 1
+        return LogicalProject(children[0], self.exprs)
+
+    def __str__(self) -> str:
+        return f"Project({self.child})"
+
+
+class LogicalAggregate(LogicalNode):
+    """GROUP BY ``keys`` computing ``aggregates``."""
+
+    def __init__(self, child: LogicalNode, keys: Tuple[ColumnRef, ...],
+                 aggregates: Tuple[Aggregate, ...]):
+        self.children = (child,)
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    def payload(self) -> tuple:
+        return ("aggregate", self.keys, self.aggregates)
+
+    def with_children(self, children):
+        assert len(children) == 1
+        return LogicalAggregate(children[0], self.keys, self.aggregates)
+
+    def __str__(self) -> str:
+        return f"Aggregate({self.child}, keys={list(map(str, self.keys))})"
+
+
+class LogicalSort(LogicalNode):
+    """ORDER BY at the top of the query."""
+
+    def __init__(self, child: LogicalNode, keys: Tuple[Expr, ...],
+                 descending: Tuple[bool, ...]):
+        self.children = (child,)
+        self.keys = tuple(keys)
+        self.descending = tuple(descending)
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    def payload(self) -> tuple:
+        return ("sort", self.keys, self.descending)
+
+    def with_children(self, children):
+        assert len(children) == 1
+        return LogicalSort(children[0], self.keys, self.descending)
+
+    def __str__(self) -> str:
+        return f"Sort({self.child})"

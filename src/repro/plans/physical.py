@@ -1,0 +1,227 @@
+"""Physical operators — what the optimizer emits and the executor runs.
+
+Each node carries the estimates the optimizer computed for it
+(cardinality, output bytes, cost, required workspace memory), because
+the executor uses exactly those estimates to ask for a memory grant —
+mirroring how a real DBMS sizes grants from compile-time estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.plans.expressions import Aggregate, ColumnRef, Expr
+
+
+@dataclass
+class Estimates:
+    """Optimizer estimates attached to a physical operator."""
+
+    rows: float = 0.0
+    #: bytes of the operator's output stream
+    bytes: float = 0.0
+    #: workspace memory this operator wants (hash table / sort buffer)
+    memory: float = 0.0
+    #: total cost of the subtree rooted here (abstract cost units)
+    cost: float = 0.0
+
+
+class PhysicalNode:
+    """Base class for physical operators."""
+
+    children: Tuple["PhysicalNode", ...] = ()
+
+    def __init__(self):
+        self.estimates = Estimates()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def walk(self):
+        """Yield every node of the subtree, root first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total_memory(self) -> float:
+        """Sum of per-operator workspace needs over the subtree.
+
+        Used to size the query's memory grant; hash pipelines hold
+        their tables simultaneously, so the sum (not the max) is the
+        honest request.
+        """
+        return sum(node.estimates.memory for node in self.walk())
+
+    def describe(self, indent: int = 0) -> str:
+        """Multi-line plan rendering (EXPLAIN-style)."""
+        pad = "  " * indent
+        line = (f"{pad}{self._describe_self()}"
+                f"  [rows={self.estimates.rows:.0f}"
+                f" cost={self.estimates.cost:.0f}]")
+        parts = [line]
+        for child in self.children:
+            parts.append(child.describe(indent + 1))
+        return "\n".join(parts)
+
+    def _describe_self(self) -> str:
+        return self.name
+
+
+class TableScan(PhysicalNode):
+    """Sequential scan of a base table with an optional filter."""
+
+    def __init__(self, alias: str, table: str,
+                 predicate: Optional[Expr] = None):
+        super().__init__()
+        self.alias = alias
+        self.table = table
+        self.predicate = predicate
+        #: fraction of the table's pages the scan touches (1.0 = full
+        #: scan; range predicates on the clustering key reduce it)
+        self.scan_fraction = 1.0
+        #: where the scanned window starts, as a fraction of the table —
+        #: drives buffer-pool locality (hot recent regions vs cold history)
+        self.scan_offset = 0.0
+
+    def _describe_self(self) -> str:
+        pred = f" WHERE {self.predicate}" if self.predicate else ""
+        return f"TableScan({self.table} AS {self.alias}{pred})"
+
+
+class HashJoin(PhysicalNode):
+    """Build on the left child, probe with the right child."""
+
+    def __init__(self, build: PhysicalNode, probe: PhysicalNode,
+                 build_keys: Tuple[ColumnRef, ...],
+                 probe_keys: Tuple[ColumnRef, ...],
+                 residual: Optional[Expr] = None):
+        super().__init__()
+        self.children = (build, probe)
+        self.build_keys = tuple(build_keys)
+        self.probe_keys = tuple(probe_keys)
+        self.residual = residual
+
+    @property
+    def build(self) -> PhysicalNode:
+        return self.children[0]
+
+    @property
+    def probe(self) -> PhysicalNode:
+        return self.children[1]
+
+    def _describe_self(self) -> str:
+        keys = ", ".join(f"{b}={p}" for b, p in
+                         zip(self.build_keys, self.probe_keys))
+        return f"HashJoin({keys})"
+
+
+class NestedLoopsJoin(PhysicalNode):
+    """Tuple-at-a-time join; cheap for tiny inputs, terrible for big ones."""
+
+    def __init__(self, outer: PhysicalNode, inner: PhysicalNode,
+                 condition: Optional[Expr] = None):
+        super().__init__()
+        self.children = (outer, inner)
+        self.condition = condition
+
+    @property
+    def outer(self) -> PhysicalNode:
+        return self.children[0]
+
+    @property
+    def inner(self) -> PhysicalNode:
+        return self.children[1]
+
+    def _describe_self(self) -> str:
+        cond = f" ON {self.condition}" if self.condition else ""
+        return f"NestedLoopsJoin{cond}"
+
+
+class HashAggregate(PhysicalNode):
+    """Hash-based grouping (the paper's workload aggregates via hashing)."""
+
+    def __init__(self, child: PhysicalNode, keys: Tuple[ColumnRef, ...],
+                 aggregates: Tuple[Aggregate, ...]):
+        super().__init__()
+        self.children = (child,)
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+
+    @property
+    def child(self) -> PhysicalNode:
+        return self.children[0]
+
+    def _describe_self(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        return f"HashAggregate(keys=[{keys}])"
+
+
+class StreamAggregate(PhysicalNode):
+    """Grouping over sorted input — no hash table, but needs a Sort."""
+
+    def __init__(self, child: PhysicalNode, keys: Tuple[ColumnRef, ...],
+                 aggregates: Tuple[Aggregate, ...]):
+        super().__init__()
+        self.children = (child,)
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+
+    @property
+    def child(self) -> PhysicalNode:
+        return self.children[0]
+
+    def _describe_self(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        return f"StreamAggregate(keys=[{keys}])"
+
+
+class Sort(PhysicalNode):
+    """In-memory (or spilling) sort."""
+
+    def __init__(self, child: PhysicalNode, keys: Tuple[Expr, ...],
+                 descending: Tuple[bool, ...] = ()):
+        super().__init__()
+        self.children = (child,)
+        self.keys = tuple(keys)
+        self.descending = tuple(descending) or tuple(False for _ in self.keys)
+
+    @property
+    def child(self) -> PhysicalNode:
+        return self.children[0]
+
+    def _describe_self(self) -> str:
+        return f"Sort(keys={[str(k) for k in self.keys]})"
+
+
+class Filter(PhysicalNode):
+    """Residual predicate evaluation above a subtree."""
+
+    def __init__(self, child: PhysicalNode, predicate: Expr):
+        super().__init__()
+        self.children = (child,)
+        self.predicate = predicate
+
+    @property
+    def child(self) -> PhysicalNode:
+        return self.children[0]
+
+    def _describe_self(self) -> str:
+        return f"Filter({self.predicate})"
+
+
+class Project(PhysicalNode):
+    """Compute the output expression list."""
+
+    def __init__(self, child: PhysicalNode, exprs: Tuple[Expr, ...]):
+        super().__init__()
+        self.children = (child,)
+        self.exprs = tuple(exprs)
+
+    @property
+    def child(self) -> PhysicalNode:
+        return self.children[0]
+
+    def _describe_self(self) -> str:
+        return f"Project({len(self.exprs)} exprs)"

@@ -1,0 +1,16 @@
+"""The integrated database server.
+
+:class:`~repro.server.server.DatabaseServer` wires every substrate
+together — memory manager, disk, buffer pool, plan cache, CPU
+scheduler, compilation pipeline with throttling governor, execution
+engine with memory grants, and the Memory Broker — into one simulated
+process a workload can submit queries to.
+"""
+
+from repro.server.scheduler import CpuScheduler
+from repro.server.session import QueryOutcome, Session
+from repro.server.server import DatabaseServer
+from repro.server.dmv import ServerViews
+
+__all__ = ["CpuScheduler", "DatabaseServer", "QueryOutcome",
+           "ServerViews", "Session"]

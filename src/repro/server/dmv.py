@@ -1,0 +1,164 @@
+"""DMV-style introspection of a running server.
+
+SQL Server exposes its memory state through dynamic management views
+(``sys.dm_os_memory_clerks``, ``sys.dm_exec_query_memory_grants``,
+``sys.dm_exec_query_optimizer_memory_gateways``); operators of the
+paper's feature watch exactly these.  This module provides the same
+observability for the simulated server: structured snapshots plus a
+rendered report, safe to call at any simulated instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.metrics.report import render_table
+from repro.units import format_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.server import DatabaseServer
+
+
+@dataclass(frozen=True)
+class MemoryClerkRow:
+    """One row of the memory-clerks view."""
+
+    name: str
+    used_bytes: int
+    peak_bytes: int
+    total_allocated: int
+
+
+@dataclass(frozen=True)
+class GatewayRow:
+    """One row of the optimizer-memory-gateways view."""
+
+    name: str
+    threshold_bytes: int
+    capacity: int
+    active: int
+    waiting: int
+    acquires: int
+    timeouts: int
+    mean_wait: float
+
+
+@dataclass(frozen=True)
+class GrantQueueRow:
+    """Aggregate state of the execution memory-grant queue."""
+
+    capacity_bytes: int
+    outstanding_bytes: int
+    waiting: int
+    grants: int
+    timeouts: int
+    mean_wait: float
+
+
+@dataclass(frozen=True)
+class CompilationRow:
+    """One in-flight compilation."""
+
+    label: str
+    used_bytes: int
+    peak_bytes: int
+
+
+class ServerViews:
+    """Snapshot accessors over one :class:`DatabaseServer`."""
+
+    def __init__(self, server: "DatabaseServer"):
+        self.server = server
+
+    # -- views -----------------------------------------------------------
+    def memory_clerks(self) -> List[MemoryClerkRow]:
+        """Analogue of ``sys.dm_os_memory_clerks``."""
+        return [MemoryClerkRow(name=clerk.name, used_bytes=clerk.used,
+                               peak_bytes=clerk.peak,
+                               total_allocated=clerk.total_allocated)
+                for clerk in self.server.memory.clerks()]
+
+    def memory_gateways(self) -> List[GatewayRow]:
+        """Analogue of ``… query_optimizer_memory_gateways``."""
+        governor = self.server.governor
+        rows = []
+        for gateway, threshold in zip(governor.gateways,
+                                      governor.thresholds):
+            rows.append(GatewayRow(
+                name=gateway.name, threshold_bytes=threshold,
+                capacity=gateway.capacity, active=gateway.active,
+                waiting=gateway.waiting,
+                acquires=gateway.stats.acquires,
+                timeouts=gateway.stats.timeouts,
+                mean_wait=gateway.stats.mean_wait()))
+        return rows
+
+    def grant_queue(self) -> GrantQueueRow:
+        """Analogue of ``sys.dm_exec_query_memory_grants`` (aggregate)."""
+        semaphore = self.server.grant_semaphore
+        return GrantQueueRow(
+            capacity_bytes=semaphore.capacity_bytes,
+            outstanding_bytes=semaphore.outstanding_bytes,
+            waiting=semaphore.queued,
+            grants=semaphore.stats.grants,
+            timeouts=semaphore.stats.timeouts,
+            mean_wait=semaphore.stats.mean_wait())
+
+    def compilations(self) -> List[CompilationRow]:
+        """In-flight compilations with their memory accounts."""
+        return [CompilationRow(label=str(label), used_bytes=account.used,
+                               peak_bytes=account.peak)
+                for label, account
+                in self.server.pipeline.live_accounts.items()]
+
+    def summary(self) -> Dict[str, float]:
+        """One-line health summary (counters plus derived rates)."""
+        server = self.server
+        return {
+            "now": server.env.now,
+            "memory_used": server.memory.used,
+            "memory_available": server.memory.available,
+            "oom_count": server.memory.oom_count,
+            "buffer_pool_hit_rate": server.buffer_pool.hit_rate(),
+            "plan_cache_entries": len(server.plan_cache),
+            "plan_cache_hit_rate": server.plan_cache.hit_rate(),
+            "active_compilations": server.pipeline.active,
+            "degraded_plans": server.pipeline.degraded_plans,
+            "broker_pressure": float(server.broker.under_pressure),
+            "broker_sweeps": server.broker.sweeps,
+        }
+
+    # -- rendering ------------------------------------------------------------
+    def report(self) -> str:
+        """Render all views as one plain-text status report."""
+        parts = [f"server status at t={self.server.env.now:.1f}s"]
+
+        clerk_rows = [(r.name, format_bytes(r.used_bytes),
+                       format_bytes(r.peak_bytes))
+                      for r in self.memory_clerks()]
+        parts.append("\nmemory clerks:")
+        parts.append(render_table(("clerk", "used", "peak"), clerk_rows))
+
+        gw_rows = [(r.name, format_bytes(r.threshold_bytes),
+                    f"{r.active}/{r.capacity}", r.waiting, r.timeouts)
+                   for r in self.memory_gateways()]
+        parts.append("\ncompilation gateways:")
+        parts.append(render_table(
+            ("monitor", "threshold", "active/cap", "waiting", "timeouts"),
+            gw_rows))
+
+        grant = self.grant_queue()
+        parts.append(
+            f"\ngrant queue: {format_bytes(grant.outstanding_bytes)} of "
+            f"{format_bytes(grant.capacity_bytes)} outstanding, "
+            f"{grant.waiting} waiting, {grant.timeouts} timeouts")
+
+        compiles = self.compilations()
+        if compiles:
+            parts.append("\nin-flight compilations:")
+            parts.append(render_table(
+                ("label", "used", "peak"),
+                [(c.label, format_bytes(c.used_bytes),
+                  format_bytes(c.peak_bytes)) for c in compiles]))
+        return "\n".join(parts)

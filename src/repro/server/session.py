@@ -1,0 +1,82 @@
+"""One query's journey through the server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import QueryError
+from repro.execution.operators import build_profile
+from repro.plancache.cache import query_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.server import DatabaseServer
+
+
+@dataclass
+class QueryOutcome:
+    """What the client sees, plus the timing breakdown."""
+
+    ok: bool
+    error_kind: Optional[str] = None
+    error_message: str = ""
+    cached_plan: bool = False
+    degraded_plan: bool = False
+    compile_time: float = 0.0
+    gateway_wait: float = 0.0
+    grant_wait: float = 0.0
+    execution_time: float = 0.0
+    compile_peak_bytes: int = 0
+    spilled: bool = False
+    output_rows: float = 0.0
+
+
+class Session:
+    """Executes one query text against the server."""
+
+    def __init__(self, server: "DatabaseServer"):
+        self.server = server
+
+    def run(self, text: str, label: str = ""):
+        """Process generator: cache lookup → compile → execute.
+
+        Always returns a :class:`QueryOutcome`; per-query failures are
+        captured, not raised, so the client can decide to retry.
+        """
+        server = self.server
+        env = server.env
+        outcome = QueryOutcome(ok=False)
+        key = query_hash(text)
+        try:
+            cached = server.plan_cache.get(key, now=env.now)
+            if cached is not None:
+                compiled = cached.plan
+                outcome.cached_plan = True
+            else:
+                compiled = yield from server.pipeline.compile(text, label)
+                outcome.compile_time = compiled.compile_time
+                outcome.gateway_wait = compiled.gateway_wait
+                outcome.compile_peak_bytes = compiled.peak_memory
+                outcome.degraded_plan = compiled.degraded
+                server.plan_cache.put(
+                    key, compiled, compiled.cache_bytes,
+                    compile_cost=compiled.compile_time, now=env.now)
+
+            profile = build_profile(compiled.plan, server.catalog,
+                                    server.optimizer.cost_model)
+            execution = yield from server.executor.execute(
+                profile, server.catalog)
+            outcome.grant_wait = execution.grant_wait
+            outcome.execution_time = execution.elapsed
+            outcome.spilled = execution.spilled
+            outcome.output_rows = profile.output_rows
+            outcome.ok = True
+        except QueryError as exc:
+            outcome.error_kind = exc.kind
+            outcome.error_message = str(exc)
+        except Exception as exc:
+            # non-query errors are still returned to the client, tagged
+            # distinctly so tests can spot unexpected failure modes
+            outcome.error_kind = type(exc).__name__
+            outcome.error_message = str(exc)
+        return outcome

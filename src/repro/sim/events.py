@@ -1,0 +1,191 @@
+"""Core event types for the simulation kernel.
+
+An :class:`Event` moves through three states: *pending* (created, not yet
+triggered), *triggered* (given a value/exception and placed on the event
+heap), and *processed* (its callbacks have run).  Processes react to
+events via callbacks registered by the kernel — user code simply
+``yield``\\ s events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+#: sentinel for "event has no value yet"
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`.
+
+    ``cause`` carries the interrupter's reason (any object).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A single occurrence that processes can wait on.
+
+    Events succeed with a value or fail with an exception.  Failed
+    events are re-raised inside every waiting process, so errors
+    propagate along wait chains exactly like exceptions along call
+    chains.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: set True when a failure was delivered to at least one waiter
+        self._defused = False
+
+    # -- state predicates ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled for processing."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value (or exception) the event was triggered with."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another event onto this one (callback form)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            raise SimulationError(f"{self!r} already processed")
+        self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Condition(Event):
+    """Base for events composed of other events (``AnyOf`` / ``AllOf``)."""
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        self._unprocessed = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        """Gather the values of all already-processed successful children.
+
+        ``processed`` (not merely ``triggered``) is the right test:
+        Timeout events carry their value from creation, long before
+        they fire.
+        """
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event._ok
+        }
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            # A sibling already resolved the condition; absorb failures so
+            # they do not escape as unhandled.
+            if event.triggered and not event._ok:
+                event._defused = True
+            return
+        self._unprocessed -= 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._satisfied():
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires as soon as *any* child event succeeds (or one fails)."""
+
+    def _satisfied(self) -> bool:
+        return any(event.processed and event._ok for event in self.events)
+
+
+class AllOf(Condition):
+    """Fires once *all* child events have succeeded (or one fails)."""
+
+    def _satisfied(self) -> bool:
+        return self._unprocessed == 0

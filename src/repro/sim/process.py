@@ -1,0 +1,115 @@
+"""Generator-based processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  The kernel resumes the generator with the event's value when it
+fires, or throws the event's exception into the generator when it fails.
+A process is itself an event that fires when the generator returns, so
+processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Interrupt, _PENDING
+
+
+class Process(Event):
+    """A running generator coroutine inside an environment."""
+
+    def __init__(self, env, generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        #: the event this process is currently waiting on (None when running)
+        self._target: Event | None = None
+        # Kick off the process via an immediately-scheduled initialization
+        # event so creation order does not perturb event ordering.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        env.schedule(init)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event the process is currently waiting for (diagnostics)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        The process stops waiting on its current target; that target is
+        left to fire on its own (its outcome is discarded for this
+        process).
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        self.env.schedule(wakeup)
+        wakeup.add_callback(self._resume)
+
+    # -- kernel internals --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        if not self.is_alive:
+            # e.g. an interrupt raced with normal completion
+            return
+        if isinstance(event._value, Interrupt):
+            # Detach from the pending target; its eventual outcome must not
+            # resume us anymore.
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        elif event is not self._target and self._target is not None:
+            # Stale wakeup from an event we stopped waiting on.
+            return
+        self.env.active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.fail(exc)
+            return
+        finally:
+            self.env.active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_event!r}")
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed: resume immediately via a zero-delay event.
+            relay = Event(self.env)
+            relay._ok = next_event._ok
+            relay._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                relay._defused = True
+            self.env.schedule(relay)
+            self._target = relay
+            relay.add_callback(self._resume)
+        else:
+            next_event.add_callback(self._resume)

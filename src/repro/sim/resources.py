@@ -1,0 +1,145 @@
+"""Shared resources for processes: counted semaphores and stores.
+
+:class:`Resource` is a FIFO counted semaphore — the building block for
+CPUs, disk channels, memory-grant queues and the paper's compilation
+gateways.  A request is itself an event; processes ``yield`` it and are
+resumed when a slot is granted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        #: set True once the slot has been granted
+        self.granted = False
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted FIFO resource with ``capacity`` slots.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        ...           # critical section
+        resource.release(req)
+
+    ``cancel`` withdraws a queued request (used to implement timeouts:
+    wait on ``AnyOf([req, env.timeout(t)])`` and cancel on timeout).
+    """
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity < 0:
+            raise SimulationError(f"negative capacity {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self.queue)
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the resource.
+
+        Growing wakes queued waiters; shrinking never evicts current
+        users — the resource simply stops granting until usage drops
+        below the new capacity.  (This is exactly the behaviour the
+        paper's dynamic gateway thresholds need.)
+        """
+        if capacity < 0:
+            raise SimulationError(f"negative capacity {capacity}")
+        self._capacity = capacity
+        self._grant()
+
+    def request(self) -> Request:
+        """Ask for one slot; returns an event that fires when granted."""
+        req = Request(self)
+        self.queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot (or withdraw a queued request)."""
+        if request.granted:
+            self.users.remove(request)
+            request.granted = False
+            self._grant()
+        else:
+            self.cancel(request)
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a request that has not been granted yet (no-op if
+        already granted or not queued)."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            req = self.queue.popleft()
+            req.granted = True
+            self.users.append(req)
+            req.succeed(self)
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking ``get``.
+
+    Used for message passing between processes (e.g. broker
+    notifications in tests).
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking one waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)

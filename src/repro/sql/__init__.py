@@ -1,0 +1,23 @@
+"""SQL front end: lexer, parser and binder.
+
+Supports the analytic subset the paper's workloads need: SELECT lists
+with aggregates and arithmetic, multi-table FROM clauses (comma style
+and ``JOIN … ON``), WHERE conjunctions with comparisons and BETWEEN,
+GROUP BY and ORDER BY.  Comments (``--`` and ``/* */``) are lexed and
+dropped — the SALES load generator uniquifies query text with comment
+tags to defeat plan caching, exactly as the paper describes.
+"""
+
+from repro.sql.lexer import Lexer, Token, TokenType, tokenize
+from repro.sql.parser import parse
+from repro.sql.binder import Binder, BoundQuery
+
+__all__ = [
+    "Binder",
+    "BoundQuery",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,115 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "group", "by", "order", "having",
+    "join", "inner", "left", "right", "outer", "cross", "on",
+    "and", "or", "not", "between", "as", "asc", "desc",
+    "distinct", "limit", "top",
+})
+
+
+class TokenType(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    NUMBER = auto()
+    STRING = auto()
+    SYMBOL = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def __str__(self) -> str:
+        return self.text if self.type is not TokenType.EOF else "<eof>"
+
+
+#: multi-character symbols, longest first
+_SYMBOLS2 = ("<=", ">=", "<>", "!=")
+_SYMBOLS1 = "(),.*=<>+-/;"
+
+
+class Lexer:
+    """Converts query text into a token stream, dropping comments."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def tokens(self) -> Iterator[Token]:
+        text, n = self.text, len(self.text)
+        while True:
+            # skip whitespace and comments
+            while self.pos < n:
+                ch = text[self.pos]
+                if ch.isspace():
+                    self.pos += 1
+                elif text.startswith("--", self.pos):
+                    nl = text.find("\n", self.pos)
+                    self.pos = n if nl < 0 else nl + 1
+                elif text.startswith("/*", self.pos):
+                    end = text.find("*/", self.pos + 2)
+                    if end < 0:
+                        raise SqlSyntaxError("unterminated comment", self.pos)
+                    self.pos = end + 2
+                else:
+                    break
+            if self.pos >= n:
+                yield Token(TokenType.EOF, "", self.pos)
+                return
+            start = self.pos
+            ch = text[start]
+            if ch.isalpha() or ch == "_":
+                while self.pos < n and (text[self.pos].isalnum()
+                                        or text[self.pos] == "_"):
+                    self.pos += 1
+                word = text[start:self.pos]
+                lowered = word.lower()
+                if lowered in KEYWORDS:
+                    yield Token(TokenType.KEYWORD, lowered, start)
+                else:
+                    yield Token(TokenType.IDENT, lowered, start)
+            elif ch.isdigit():
+                while self.pos < n and (text[self.pos].isdigit()
+                                        or text[self.pos] == "."):
+                    self.pos += 1
+                yield Token(TokenType.NUMBER, text[start:self.pos], start)
+            elif ch == "'":
+                self.pos += 1
+                while self.pos < n and text[self.pos] != "'":
+                    self.pos += 1
+                if self.pos >= n:
+                    raise SqlSyntaxError("unterminated string literal", start)
+                self.pos += 1
+                yield Token(TokenType.STRING, text[start + 1:self.pos - 1], start)
+            else:
+                two = text[start:start + 2]
+                if two in _SYMBOLS2:
+                    self.pos += 2
+                    # normalize != to <>
+                    yield Token(TokenType.SYMBOL,
+                                "<>" if two == "!=" else two, start)
+                elif ch in _SYMBOLS1:
+                    self.pos += 1
+                    yield Token(TokenType.SYMBOL, ch, start)
+                else:
+                    raise SqlSyntaxError(f"unexpected character {ch!r}", start)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` fully (including the trailing EOF token)."""
+    return list(Lexer(text).tokens())

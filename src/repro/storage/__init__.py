@@ -1,0 +1,22 @@
+"""The I/O path: disk model and database page buffer pool.
+
+The buffer pool is the paper's principal *victim* component: when many
+concurrent compilations take memory, the pool shrinks, its hit rate
+falls, executions do more physical I/O, hold their memory grants
+longer, and throughput collapses.  Both pieces here are real mechanisms
+(queued disk with service times; chunk-granularity LRU cache), so that
+coupling emerges rather than being scripted.
+"""
+
+from repro.storage.disk import DiskModel, IoStats
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagemap import ChunkRange, PageMap, CHUNK_SIZE
+
+__all__ = [
+    "BufferPool",
+    "CHUNK_SIZE",
+    "ChunkRange",
+    "DiskModel",
+    "IoStats",
+    "PageMap",
+]

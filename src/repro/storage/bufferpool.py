@@ -1,0 +1,172 @@
+"""The database page buffer pool.
+
+A chunk-granularity LRU cache over the on-disk chunk space.  The pool is
+*elastic*: it grows into whatever physical memory is free and gives
+memory back in two ways — a synchronous shrink callback invoked by the
+:class:`~repro.memory.manager.MemoryManager` when another clerk's
+allocation does not fit ("stealing pages", §1 of the paper), and a
+broker-driven *target* that caps how large the pool lets itself stay.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.manager import MemoryManager
+from repro.sim import Environment
+from repro.storage.disk import DiskModel
+from repro.storage.pagemap import CHUNK_SIZE, ChunkRange
+
+#: chunks transferred per physical I/O request (128 MiB units let the
+#: disk array interleave between concurrent scans)
+IO_UNIT_CHUNKS = 4
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one logical range read."""
+
+    hits: int = 0
+    misses: int = 0
+    io_time: float = 0.0
+
+    @property
+    def chunks(self) -> int:
+        return self.hits + self.misses
+
+
+class BufferPool:
+    """LRU chunk cache backed by the disk model."""
+
+    def __init__(self, env: Environment, manager: MemoryManager,
+                 disk: DiskModel, floor_bytes: int):
+        self.env = env
+        self.disk = disk
+        self.clerk = manager.clerk("buffer_pool")
+        manager.register_shrinker("buffer_pool", self.shrink)
+        #: the pool never volunteers to shrink below this size
+        self.floor_bytes = floor_bytes
+        #: broker-imposed cap; None = grow into all free memory
+        self.target_bytes: Optional[int] = None
+        self._lru: "OrderedDict[int, bool]" = OrderedDict()
+        # cumulative stats
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- size management ---------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Current pool size in bytes."""
+        return self.clerk.used
+
+    @property
+    def resident_chunks(self) -> int:
+        return len(self._lru)
+
+    def hit_rate(self) -> float:
+        """Lifetime hit rate (0 when nothing read yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def set_target(self, nbytes: Optional[int]) -> None:
+        """Broker notification: cap the pool at ``nbytes`` (None = uncapped).
+
+        Shrinks immediately if the pool currently exceeds the target.
+        """
+        self.target_bytes = nbytes
+        if nbytes is not None and self.clerk.used > nbytes:
+            self.shrink(self.clerk.used - nbytes, respect_floor=False)
+
+    def shrink(self, goal: int, respect_floor: bool = True) -> int:
+        """Evict LRU chunks until ``goal`` bytes are freed (or the floor
+        is reached).  Returns the bytes actually freed.  This is the
+        callback the memory manager invokes when another component's
+        allocation does not fit.
+        """
+        freed = 0
+        floor = self.floor_bytes if respect_floor else 0
+        while freed < goal and self._lru:
+            if self.clerk.used - CHUNK_SIZE < floor:
+                break
+            self._lru.popitem(last=False)
+            self.clerk.free(CHUNK_SIZE)
+            self.evictions += 1
+            freed += CHUNK_SIZE
+        return freed
+
+    def _admit(self, chunk: int) -> None:
+        """Bring one chunk into the pool, evicting/replacing as needed."""
+        if self.target_bytes is not None:
+            while (self.clerk.used + CHUNK_SIZE > self.target_bytes
+                   and self._lru):
+                self._lru.popitem(last=False)
+                self.clerk.free(CHUNK_SIZE)
+                self.evictions += 1
+            if self.clerk.used + CHUNK_SIZE > self.target_bytes:
+                return  # target below one chunk: pass-through read
+        if not self.clerk.try_allocate(CHUNK_SIZE):
+            # No free physical memory: replace our own LRU chunk.
+            if not self._lru:
+                return  # pool squeezed to nothing: pass-through read
+            self._lru.popitem(last=False)
+            self.evictions += 1
+            # reuse the freed chunk's allocation for the new one
+            self.clerk.free(CHUNK_SIZE)
+            if not self.clerk.try_allocate(CHUNK_SIZE):
+                return
+        self._lru[chunk] = True
+
+    # -- the read path -------------------------------------------------------
+    def _admission_capacity(self) -> int:
+        """How large the pool could get right now (target or elastic)."""
+        if self.target_bytes is not None:
+            return self.target_bytes
+        return self.clerk.used + self.clerk.manager.available
+
+    def read_range(self, crange: ChunkRange):
+        """Process generator: read every chunk of ``crange``.
+
+        Cache hits are free; misses are batched into IO_UNIT_CHUNKS-sized
+        physical reads.  Scans larger than half the pool's attainable
+        size bypass admission (scan resistance): they would evict the
+        entire working set for pages never re-read before their own
+        next eviction.  Returns a :class:`ReadResult`.
+        """
+        result = ReadResult()
+        started = self.env.now
+        admit = crange.nbytes <= 0.5 * self._admission_capacity()
+        pending = 0  # missed chunks not yet transferred
+        for chunk in crange:
+            if chunk in self._lru:
+                self._lru.move_to_end(chunk)
+                self.hits += 1
+                result.hits += 1
+                continue
+            self.misses += 1
+            result.misses += 1
+            if admit:
+                self._admit(chunk)
+            pending += 1
+            if pending >= IO_UNIT_CHUNKS:
+                yield from self.disk.read(pending * CHUNK_SIZE)
+                pending = 0
+        if pending:
+            yield from self.disk.read(pending * CHUNK_SIZE)
+        result.io_time = self.env.now - started
+        return result
+
+    def warm(self, crange: ChunkRange) -> int:
+        """Synchronously mark chunks resident (test/setup helper).
+
+        Returns how many chunks were admitted.
+        """
+        admitted = 0
+        for chunk in crange:
+            if chunk not in self._lru:
+                before = len(self._lru)
+                self._admit(chunk)
+                admitted += int(len(self._lru) != before or chunk in self._lru)
+        return admitted

@@ -1,0 +1,91 @@
+"""Mapping from tables to on-disk chunks.
+
+Physical I/O and buffer-pool residency are modelled at *chunk*
+granularity (a contiguous 32 MiB run of pages) rather than single 8 KiB
+pages: a 524 GB data mart is ~17 000 chunks, which keeps the simulation
+fast while preserving the locality behaviour that matters — repeated
+scans of the same table region hit in cache, scans of cold regions pay
+physical I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import CatalogError
+from repro.units import MiB
+
+#: bytes per buffer-pool chunk
+CHUNK_SIZE = 32 * MiB
+
+
+@dataclass(frozen=True)
+class ChunkRange:
+    """A half-open range ``[start, stop)`` of global chunk ids."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self):
+        if self.stop < self.start:
+            raise CatalogError(f"bad chunk range [{self.start}, {self.stop})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.stop))
+
+    def slice(self, offset_fraction: float, length_fraction: float) -> "ChunkRange":
+        """A sub-range starting at ``offset_fraction`` of the table and
+        covering ``length_fraction`` of it (clamped; at least one chunk
+        when the table is non-empty)."""
+        n = len(self)
+        if n == 0:
+            return self
+        start = self.start + int(offset_fraction * n)
+        length = max(1, int(length_fraction * n))
+        start = min(start, self.stop - 1)
+        stop = min(start + length, self.stop)
+        return ChunkRange(start, stop)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self) * CHUNK_SIZE
+
+
+class PageMap:
+    """Assigns each table a contiguous run of global chunk ids."""
+
+    def __init__(self):
+        self._ranges: Dict[str, ChunkRange] = {}
+        self._next_chunk = 0
+
+    def add_table(self, name: str, nbytes: int) -> ChunkRange:
+        """Lay out ``nbytes`` of table data; returns its chunk range."""
+        if name in self._ranges:
+            raise CatalogError(f"table {name!r} already laid out")
+        nchunks = max(1, (nbytes + CHUNK_SIZE - 1) // CHUNK_SIZE)
+        crange = ChunkRange(self._next_chunk, self._next_chunk + nchunks)
+        self._next_chunk += nchunks
+        self._ranges[name] = crange
+        return crange
+
+    def range_of(self, name: str) -> ChunkRange:
+        """The chunk range of a previously laid-out table."""
+        try:
+            return self._ranges[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} has no on-disk layout") from None
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(self._ranges)
+
+    @property
+    def total_chunks(self) -> int:
+        return self._next_chunk
+
+    @property
+    def total_bytes(self) -> int:
+        return self._next_chunk * CHUNK_SIZE

@@ -1,0 +1,21 @@
+"""★ Core contribution: query-compilation throttling (paper §4).
+
+A ladder of memory monitors ("gateways") with progressively higher
+memory thresholds and progressively lower concurrency limits.  A
+compilation acquires monitor *i* once its own allocated bytes cross
+threshold *i*, blocks when the monitor is full, and releases in reverse
+order when compilation ends.  Timeouts grow with monitor level.  The
+medium/big thresholds can be recomputed dynamically from the Memory
+Broker's compilation target via ``threshold = target * F / S``
+(extension (a) of the paper).
+"""
+
+from repro.throttle.gateway import Gateway, GatewayStats
+from repro.throttle.governor import CompilationGovernor, ThrottleTicket
+
+__all__ = [
+    "CompilationGovernor",
+    "Gateway",
+    "GatewayStats",
+    "ThrottleTicket",
+]

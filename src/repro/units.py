@@ -1,0 +1,67 @@
+"""Byte and time unit helpers used throughout the repro DBMS.
+
+Memory quantities are plain ``int`` bytes and simulated time is ``float``
+seconds everywhere; these helpers exist so configuration reads naturally
+(``4 * GiB``) and reports print readably (``format_bytes``).
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: canonical database page size (SQL Server uses 8 KiB pages)
+PAGE_SIZE = 8 * KiB
+
+MINUTE = 60.0
+HOUR = 3600.0
+
+_SUFFIXES = [(TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")]
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_bytes(3 * MiB)``
+    returns ``'3.0 MiB'``.  Negative values are formatted with a sign."""
+    sign = "-" if n < 0 else ""
+    n = abs(int(n))
+    for unit, suffix in _SUFFIXES:
+        if n >= unit:
+            return f"{sign}{n / unit:.1f} {suffix}"
+    return f"{sign}{n} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest sensible unit (``'2.0 h'``,
+    ``'90.0 s'``, ``'250 ms'``)."""
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.1f} h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds >= 1.0:
+        return f"{seconds:.1f} s"
+    return f"{seconds * 1000:.0f} ms"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``'512MB'``/``'4 GiB'``/``'123'`` into bytes.
+
+    Decimal (MB) and binary (MiB) suffixes are both treated as binary,
+    matching common DBA expectations for memory settings.
+    """
+    s = text.strip().lower().replace(" ", "")
+    multipliers = {
+        "tib": TiB, "tb": TiB, "t": TiB,
+        "gib": GiB, "gb": GiB, "g": GiB,
+        "mib": MiB, "mb": MiB, "m": MiB,
+        "kib": KiB, "kb": KiB, "k": KiB,
+        "b": 1,
+    }
+    for suffix in sorted(multipliers, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            if not number:
+                raise ValueError(f"no numeric part in size {text!r}")
+            return int(float(number) * multipliers[suffix])
+    return int(float(s))

@@ -1,0 +1,25 @@
+"""Workload generators and the client load driver.
+
+``sales`` is the paper's SALES benchmark (§5.1): a product-sales data
+warehouse of ~524 GB with a 400 M-row fact table, queried almost
+exclusively ad hoc with 15–20 join queries whose text is uniquified
+before submission to defeat plan caching.  ``tpch`` and ``oltp``
+provide the moderate and small comparison classes the paper positions
+SALES against.
+"""
+
+from repro.workload.base import Workload, WorkloadQuery
+from repro.workload.sales import SalesWorkload
+from repro.workload.tpch import TpchWorkload
+from repro.workload.oltp import OltpWorkload
+from repro.workload.loadgen import ClientStats, LoadGenerator
+
+__all__ = [
+    "ClientStats",
+    "LoadGenerator",
+    "OltpWorkload",
+    "SalesWorkload",
+    "TpchWorkload",
+    "Workload",
+    "WorkloadQuery",
+]

@@ -1,0 +1,54 @@
+"""Common workload interface."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated query: SQL text plus its template name."""
+
+    text: str
+    template: str
+
+
+class Workload:
+    """A schema plus a query generator.
+
+    Subclasses define ``name``, build their catalog in
+    :meth:`build_catalog` and produce queries in :meth:`generate`.
+    ``scale`` shrinks row counts uniformly so tests can run against a
+    miniature copy of the same shape.
+    """
+
+    name = "workload"
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def rows(self, full_scale_rows: int) -> int:
+        """Scaled row count (at least 1)."""
+        return max(1, int(full_scale_rows * self.scale))
+
+    def build_catalog(self) -> Catalog:
+        raise NotImplementedError
+
+    def generate(self, rng: random.Random) -> WorkloadQuery:
+        raise NotImplementedError
+
+
+def adhoc_tag(rng: random.Random) -> str:
+    """The uniquifier: a comment tag making query text unique.
+
+    The paper (§5.1, citing Gray's Benchmark Handbook) modifies each
+    base query "to make it appear unique and to defeat plan-caching
+    features in the DBMS"; a nonce comment plus the literal variation
+    in the templates achieves exactly that against a text-hash cache.
+    """
+    return f"/* adhoc {rng.getrandbits(48):012x} */"

@@ -1,0 +1,121 @@
+"""The client load generator.
+
+Simulates N concurrent database users (paper §5.2): each client thinks
+briefly, submits a freshly generated query, waits for the outcome, and
+*resubmits on failure* — the paper's observation that "the cost of each
+failure is also high (as the work will be retried)" is what makes
+resource errors so expensive for un-throttled servers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.collector import MetricsCollector, QueryRecord
+from repro.server.server import DatabaseServer
+from repro.workload.base import Workload
+
+
+@dataclass
+class ClientStats:
+    """Per-client counters."""
+
+    submitted: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    retries: int = 0
+
+
+class LoadGenerator:
+    """Drives one server with ``clients`` concurrent simulated users."""
+
+    def __init__(self, server: DatabaseServer, workload: Workload,
+                 clients: int, duration: float,
+                 metrics: Optional[MetricsCollector] = None,
+                 seed: int = 1, think_time: float = 15.0,
+                 retry_delay: float = 10.0, max_retries: int = 10):
+        self.server = server
+        self.workload = workload
+        self.clients = clients
+        self.duration = duration
+        self.metrics = metrics or server.metrics
+        self.seed = seed
+        self.think_time = think_time
+        self.retry_delay = retry_delay
+        self.max_retries = max_retries
+        self.stats: List[ClientStats] = [ClientStats()
+                                         for _ in range(clients)]
+        self._processes = []
+
+    def start(self) -> None:
+        """Spawn all client processes (call before ``env.run``)."""
+        self.server.start()
+        for client_id in range(self.clients):
+            rng = random.Random(f"{self.seed}/{client_id}")
+            process = self.server.env.process(self._client(client_id, rng))
+            self._processes.append(process)
+
+    def run(self) -> None:
+        """Start clients and run the simulation to ``duration``."""
+        self.start()
+        self.server.env.run(until=self.duration)
+
+    # -- client behaviour ----------------------------------------------------
+    def _client(self, client_id: int, rng: random.Random):
+        env = self.server.env
+        scale = self.server.config.time_scale
+        stats = self.stats[client_id]
+        # stagger arrivals so 30 compiles do not start at t=0 exactly
+        yield env.timeout(rng.uniform(0.0, self.think_time) / scale)
+        while env.now < self.duration:
+            think = rng.expovariate(1.0 / self.think_time) / scale
+            yield env.timeout(think)
+            if env.now >= self.duration:
+                break
+            query = self.workload.generate(rng)
+            attempts = 0
+            while True:
+                stats.submitted += 1
+                submitted = env.now
+                label = f"c{client_id}/{query.template}"
+                outcome = yield from self.server.run_query(
+                    query.text, label)
+                self.metrics.record_query(QueryRecord(
+                    client=client_id,
+                    template=query.template,
+                    submitted=submitted,
+                    finished=env.now,
+                    ok=outcome.ok,
+                    error_kind=outcome.error_kind,
+                    cached_plan=outcome.cached_plan,
+                    degraded_plan=outcome.degraded_plan,
+                    compile_time=outcome.compile_time,
+                    gateway_wait=outcome.gateway_wait,
+                    grant_wait=outcome.grant_wait,
+                    execution_time=outcome.execution_time,
+                    compile_peak_bytes=outcome.compile_peak_bytes,
+                    spilled=outcome.spilled,
+                ))
+                if outcome.ok:
+                    stats.succeeded += 1
+                    break
+                stats.failed += 1
+                attempts += 1
+                if attempts > self.max_retries or env.now >= self.duration:
+                    break
+                stats.retries += 1
+                backoff = (self.retry_delay
+                           * rng.uniform(0.5, 1.5)) / scale
+                yield env.timeout(backoff)
+
+    # -- summaries ----------------------------------------------------------
+    def totals(self) -> ClientStats:
+        out = ClientStats()
+        for s in self.stats:
+            out.submitted += s.submitted
+            out.succeeded += s.succeeded
+            out.failed += s.failed
+            out.retries += s.retries
+        return out

@@ -1,0 +1,105 @@
+"""An OLTP-like small-query workload.
+
+"Typically, most OLTP-class queries would fall into [the small
+monitor] category" (§4.1) — these queries compile in well under the
+medium threshold and exist to verify that the ladder leaves small
+work essentially unthrottled while heavy DSS compilations queue.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from repro.catalog import Catalog, Column, ColumnType, Index, Table
+from repro.workload.base import Workload, WorkloadQuery
+
+INT = ColumnType.INTEGER
+DEC = ColumnType.DECIMAL
+STR = ColumnType.VARCHAR
+
+
+class OltpWorkload(Workload):
+    """A small banking-style schema with point and 2-join lookups."""
+
+    name = "oltp"
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self._templates: List[Tuple[str, Callable[[random.Random], str]]] = [
+            ("o01_account_lookup", self._o01),
+            ("o02_branch_balance", self._o02),
+            ("o03_recent_activity", self._o03),
+        ]
+
+    def build_catalog(self) -> Catalog:
+        cat = Catalog()
+        r = self.rows
+        accounts = r(10_000_000)
+        branches = r(1_000)
+        tellers = r(10_000)
+        history = r(100_000_000)
+        cat.create_table(Table(
+            name="accounts",
+            columns=(Column("account_id", INT, ndv=accounts, low=0,
+                            high=max(1, accounts - 1)),
+                     Column("branch_id", INT, ndv=branches, low=0,
+                            high=max(1, branches - 1)),
+                     Column("balance", DEC, ndv=100_000, low=0,
+                            high=99_999),
+                     Column("holder", STR)),
+            row_count=accounts,
+            indexes=(Index("pk_accounts", ("account_id",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="branches",
+            columns=(Column("branch_id", INT, ndv=branches, low=0,
+                            high=max(1, branches - 1)),
+                     Column("city", STR)),
+            row_count=branches,
+            indexes=(Index("pk_branches", ("branch_id",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="tellers",
+            columns=(Column("teller_id", INT, ndv=tellers, low=0,
+                            high=max(1, tellers - 1)),
+                     Column("branch_id", INT, ndv=branches, low=0,
+                            high=max(1, branches - 1))),
+            row_count=tellers,
+            indexes=(Index("pk_tellers", ("teller_id",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="history",
+            columns=(Column("hist_id", INT, ndv=history, low=0,
+                            high=max(1, history - 1)),
+                     Column("account_id", INT, ndv=accounts, low=0,
+                            high=max(1, accounts - 1)),
+                     Column("teller_id", INT, ndv=tellers, low=0,
+                            high=max(1, tellers - 1)),
+                     Column("delta", DEC, ndv=10_000, low=0, high=9_999)),
+            row_count=history,
+            indexes=(Index("cix_history", ("hist_id",), clustered=True),)))
+        return cat
+
+    def generate(self, rng: random.Random) -> WorkloadQuery:
+        name, template = self._templates[rng.randrange(len(self._templates))]
+        return WorkloadQuery(text=template(rng), template=name)
+
+    def _o01(self, rng: random.Random) -> str:
+        acct = rng.randrange(self.rows(10_000_000))
+        return (f"SELECT a.balance FROM accounts a "
+                f"WHERE a.account_id = {acct}")
+
+    def _o02(self, rng: random.Random) -> str:
+        branch = rng.randrange(self.rows(1_000))
+        return (f"SELECT b.city, SUM(a.balance) AS total "
+                f"FROM accounts a, branches b "
+                f"WHERE a.branch_id = b.branch_id "
+                f"AND b.branch_id = {branch} GROUP BY b.city")
+
+    def _o03(self, rng: random.Random) -> str:
+        acct = rng.randrange(self.rows(10_000_000))
+        lo = rng.randrange(self.rows(100_000_000))
+        return (f"SELECT h.delta FROM history h, accounts a "
+                f"WHERE h.account_id = a.account_id "
+                f"AND a.account_id = {acct} AND h.hist_id >= {lo}")

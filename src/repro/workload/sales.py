@@ -1,0 +1,380 @@
+"""The SALES benchmark (paper §5.1).
+
+A product-sales data warehouse: several large fact tables (the largest
+over 400 million rows), ~15 dimension tables in a snowflake around
+them, a total footprint around 524 GB, and ten ad-hoc query templates
+that join 15–20 tables, filter a date window skewed toward recent
+activity, and aggregate over the join result.  Every generated query is
+textually unique (varying literals plus an ad-hoc comment tag), so the
+plan cache never hits — exactly how the paper's load generator defeats
+plan caching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from repro.catalog import Catalog, Column, ColumnType, Index, Table
+from repro.workload.base import Workload, WorkloadQuery, adhoc_tag
+
+#: days in the date dimension (seven years)
+DATE_DAYS = 2555
+
+INT = ColumnType.INTEGER
+DEC = ColumnType.DECIMAL
+STR = ColumnType.VARCHAR
+DATE = ColumnType.DATE
+
+
+class SalesWorkload(Workload):
+    """Schema + ten ad-hoc templates of the SALES benchmark."""
+
+    name = "sales"
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self._templates: List[Tuple[str, Callable[[random.Random], str]]] = [
+            ("q01_revenue_by_region", self._q01),
+            ("q02_promo_effect", self._q02),
+            ("q03_supplier_share", self._q03),
+            ("q04_channel_mix", self._q04),
+            ("q05_returns_analysis", self._q05),
+            ("q06_shipment_lag", self._q06),
+            ("q07_basket_value", self._q07),
+            ("q08_web_funnel", self._q08),
+            ("q09_inventory_turns", self._q09),
+            ("q10_employee_perf", self._q10),
+        ]
+
+    # ------------------------------------------------------------- schema
+    def build_catalog(self) -> Catalog:
+        cat = Catalog()
+        r = self.rows
+
+        # -- dimensions ---------------------------------------------------
+        def dim(name: str, key: str, rows: int, *extra: Column) -> Table:
+            nrows = r(rows)
+            cols = (Column(key, INT, ndv=nrows, low=0,
+                           high=max(1, nrows - 1)),) + extra
+            table = Table(name=name, columns=cols, row_count=nrows,
+                          indexes=(Index(f"pk_{name}", (key,),
+                                         clustered=True, unique=True),))
+            cat.create_table(table)
+            return table
+
+        dim("dates", "date_id", DATE_DAYS,
+            Column("month_id", INT, ndv=84, low=0, high=83),
+            Column("quarter_id", INT, ndv=28, low=0, high=27),
+            Column("year_id", INT, ndv=7, low=0, high=6))
+        dim("customers", "customer_id", 8_000_000,
+            Column("segment_id", INT, ndv=50, low=0, high=49),
+            Column("country_id", INT, ndv=200, low=0, high=199),
+            Column("cname", STR), Column("address", STR),
+            Column("cphone", STR))
+        dim("segments", "segment_id", 50, Column("segment_name", STR))
+        dim("countries", "country_id", 200,
+            Column("region_id", INT, ndv=20, low=0, high=19),
+            Column("country_name", STR))
+        dim("regions", "region_id", 20, Column("region_name", STR))
+        dim("products", "product_id", 500_000,
+            Column("brand_id", INT, ndv=2000, low=0, high=1999),
+            Column("supplier_id", INT, ndv=50_000, low=0, high=49_999),
+            Column("pname", STR), Column("list_price", DEC,
+                                         ndv=10_000, low=1, high=9_999))
+        dim("brands", "brand_id", 2_000,
+            Column("category_id", INT, ndv=250, low=0, high=249),
+            Column("brand_name", STR))
+        dim("categories", "category_id", 250,
+            Column("department_id", INT, ndv=25, low=0, high=24),
+            Column("category_name", STR))
+        dim("departments", "department_id", 25,
+            Column("department_name", STR))
+        dim("suppliers", "supplier_id", 50_000,
+            Column("supplier_country_id", INT, ndv=200, low=0, high=199),
+            Column("sname", STR))
+        dim("stores", "store_id", 5_000,
+            Column("store_country_id", INT, ndv=200, low=0, high=199),
+            Column("format_id", INT, ndv=10, low=0, high=9),
+            Column("store_name", STR))
+        dim("promotions", "promo_id", 10_000,
+            Column("promo_type_id", INT, ndv=30, low=0, high=29),
+            Column("promo_name", STR))
+        dim("promo_types", "promo_type_id", 30, Column("type_name", STR))
+        dim("channels", "channel_id", 20, Column("channel_name", STR))
+        dim("employees", "employee_id", 100_000,
+            Column("role_id", INT, ndv=40, low=0, high=39),
+            Column("ename", STR))
+        dim("roles", "role_id", 40, Column("role_name", STR))
+        dim("warehouses", "warehouse_id", 300,
+            Column("wh_country_id", INT, ndv=200, low=0, high=199))
+        dim("carriers", "carrier_id", 100, Column("carrier_name", STR))
+
+        # -- facts ----------------------------------------------------------
+        def fact(name: str, rows: int, cols: Tuple[Column, ...]) -> None:
+            base = (
+                Column("date_id", DATE, ndv=DATE_DAYS, low=0,
+                       high=DATE_DAYS - 1),
+            )
+            table = Table(
+                name=name, columns=base + cols, row_count=r(rows),
+                indexes=(Index(f"cix_{name}", ("date_id",),
+                               clustered=True),))
+            cat.create_table(table, skew=0.3)
+
+        def measure(name: str) -> Column:
+            return Column(name, DEC, ndv=100_000, low=0, high=99_999)
+
+        padding = tuple(Column(f"attr{i}", STR) for i in range(4))
+
+        fact("sales", 400_000_000, (
+            Column("customer_id", INT, ndv=r(8_000_000), low=0,
+                   high=max(1, r(8_000_000) - 1)),
+            Column("product_id", INT, ndv=r(500_000), low=0,
+                   high=max(1, r(500_000) - 1)),
+            Column("store_id", INT, ndv=r(5_000), low=0,
+                   high=max(1, r(5_000) - 1)),
+            Column("promo_id", INT, ndv=r(10_000), low=0,
+                   high=max(1, r(10_000) - 1)),
+            Column("channel_id", INT, ndv=r(20), low=0,
+                   high=max(1, r(20) - 1)),
+            Column("employee_id", INT, ndv=r(100_000), low=0,
+                   high=max(1, r(100_000) - 1)),
+            measure("amount"), measure("quantity"), measure("discount"),
+            measure("net_cost"),
+        ) + padding)
+        fact("order_lines", 700_000_000, (
+            Column("customer_id", INT, ndv=r(8_000_000), low=0,
+                   high=max(1, r(8_000_000) - 1)),
+            Column("product_id", INT, ndv=r(500_000), low=0,
+                   high=max(1, r(500_000) - 1)),
+            Column("store_id", INT, ndv=r(5_000), low=0,
+                   high=max(1, r(5_000) - 1)),
+            Column("promo_id", INT, ndv=r(10_000), low=0,
+                   high=max(1, r(10_000) - 1)),
+            measure("line_amount"), measure("line_quantity"),
+        ) + padding)
+        fact("shipments", 350_000_000, (
+            Column("product_id", INT, ndv=r(500_000), low=0,
+                   high=max(1, r(500_000) - 1)),
+            Column("warehouse_id", INT, ndv=r(300), low=0,
+                   high=max(1, r(300) - 1)),
+            Column("carrier_id", INT, ndv=r(100), low=0,
+                   high=max(1, r(100) - 1)),
+            Column("store_id", INT, ndv=r(5_000), low=0,
+                   high=max(1, r(5_000) - 1)),
+            measure("ship_cost"), measure("units"), measure("lag_days"),
+        ) + padding)
+        fact("web_events", 900_000_000, (
+            Column("customer_id", INT, ndv=r(8_000_000), low=0,
+                   high=max(1, r(8_000_000) - 1)),
+            Column("product_id", INT, ndv=r(500_000), low=0,
+                   high=max(1, r(500_000) - 1)),
+            Column("channel_id", INT, ndv=r(20), low=0,
+                   high=max(1, r(20) - 1)),
+            measure("dwell_time"), measure("clicks"),
+        ) + padding[:2])
+        fact("returns", 80_000_000, (
+            Column("customer_id", INT, ndv=r(8_000_000), low=0,
+                   high=max(1, r(8_000_000) - 1)),
+            Column("product_id", INT, ndv=r(500_000), low=0,
+                   high=max(1, r(500_000) - 1)),
+            Column("store_id", INT, ndv=r(5_000), low=0,
+                   high=max(1, r(5_000) - 1)),
+            Column("reason_id", INT, ndv=r(50), low=0,
+                   high=max(1, r(50) - 1)),
+            measure("refund_amount"), measure("return_quantity"),
+        ) + padding[:2])
+        fact("inventory", 600_000_000, (
+            Column("product_id", INT, ndv=r(500_000), low=0,
+                   high=max(1, r(500_000) - 1)),
+            Column("warehouse_id", INT, ndv=r(300), low=0,
+                   high=max(1, r(300) - 1)),
+            measure("on_hand"), measure("on_order"),
+        ) + padding[:2])
+        return cat
+
+    # ------------------------------------------------------------- queries
+    def generate(self, rng: random.Random) -> WorkloadQuery:
+        name, template = self._templates[rng.randrange(len(self._templates))]
+        return WorkloadQuery(text=template(rng), template=name)
+
+    def template_names(self) -> List[str]:
+        return [name for name, _ in self._templates]
+
+    # each template returns unique text: varied literals + ad-hoc tag ----
+    def _date_window(self, rng: random.Random,
+                     min_days: int = 30, max_days: int = 150) -> Tuple[int, int]:
+        """A recent-skewed date window (hot region near the table end)."""
+        length = rng.randint(min_days, max_days)
+        recency = abs(rng.gauss(0.0, 0.22))
+        start = int((DATE_DAYS - length) * max(0.0, 1.0 - recency))
+        return start, start + length
+
+    #: the snowflake arms shared by most templates
+    _PRODUCT_ARM = (
+        " JOIN products p ON f.product_id = p.product_id"
+        " JOIN brands b ON p.brand_id = b.brand_id"
+        " JOIN categories cg ON b.category_id = cg.category_id"
+        " JOIN departments dp ON cg.department_id = dp.department_id"
+        " JOIN suppliers su ON p.supplier_id = su.supplier_id")
+    _CUSTOMER_ARM = (
+        " JOIN customers c ON f.customer_id = c.customer_id"
+        " JOIN segments sg ON c.segment_id = sg.segment_id"
+        " JOIN countries cn ON c.country_id = cn.country_id"
+        " JOIN regions rg ON cn.region_id = rg.region_id")
+    _STORE_ARM = (
+        " JOIN stores st ON f.store_id = st.store_id"
+        " JOIN countries scn ON st.store_country_id = scn.country_id"
+        " JOIN regions srg ON scn.region_id = srg.region_id")
+    _PROMO_ARM = (
+        " JOIN promotions pr ON f.promo_id = pr.promo_id"
+        " JOIN promo_types pt ON pr.promo_type_id = pt.promo_type_id")
+    _EMPLOYEE_ARM = (
+        " JOIN employees e ON f.employee_id = e.employee_id"
+        " JOIN roles rl ON e.role_id = rl.role_id")
+
+    def _q01(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng)
+        seg = rng.randrange(50)
+        return (
+            f"{adhoc_tag(rng)} SELECT rg.region_id, cg.category_id, "
+            f"SUM(f.amount) AS revenue, SUM(f.quantity) AS units, "
+            f"COUNT(*) AS n "
+            f"FROM sales f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f"{self._PRODUCT_ARM}{self._CUSTOMER_ARM}{self._STORE_ARM}"
+            f"{self._PROMO_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND c.segment_id = {seg}"
+            f" GROUP BY rg.region_id, cg.category_id"
+            f" ORDER BY revenue DESC")
+
+    def _q02(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 20, 90)
+        ptype = rng.randrange(30)
+        return (
+            f"{adhoc_tag(rng)} SELECT pt.promo_type_id, dp.department_id, "
+            f"SUM(f.amount - f.discount) AS net_revenue, AVG(f.discount) AS avg_disc "
+            f"FROM sales f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f"{self._PROMO_ARM}{self._PRODUCT_ARM}{self._STORE_ARM}"
+            f"{self._CUSTOMER_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND pt.promo_type_id = {ptype}"
+            f" GROUP BY pt.promo_type_id, dp.department_id")
+
+    def _q03(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 45, 180)
+        country = rng.randrange(200)
+        return (
+            f"{adhoc_tag(rng)} SELECT su.supplier_id, cg.category_id, "
+            f"SUM(f.line_amount) AS volume, COUNT(*) AS lines "
+            f"FROM order_lines f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f"{self._PRODUCT_ARM}{self._CUSTOMER_ARM}{self._STORE_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND su.supplier_country_id = {country}"
+            f" GROUP BY su.supplier_id, cg.category_id"
+            f" ORDER BY volume DESC")
+
+    def _q04(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng)
+        fmt = rng.randrange(10)
+        return (
+            f"{adhoc_tag(rng)} SELECT f.channel_id, rg.region_id, sg.segment_id, "
+            f"SUM(f.amount) AS revenue "
+            f"FROM sales f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f" JOIN channels ch ON f.channel_id = ch.channel_id"
+            f"{self._CUSTOMER_ARM}{self._STORE_ARM}{self._PRODUCT_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND st.format_id = {fmt}"
+            f" GROUP BY f.channel_id, rg.region_id, sg.segment_id")
+
+    def _q05(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 45, 180)
+        reason = rng.randrange(50)
+        return (
+            f"{adhoc_tag(rng)} SELECT cg.category_id, rg.region_id, "
+            f"SUM(f.refund_amount) AS refunds, COUNT(*) AS cases "
+            f"FROM returns f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f"{self._PRODUCT_ARM}{self._CUSTOMER_ARM}{self._STORE_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND f.reason_id = {reason}"
+            f" GROUP BY cg.category_id, rg.region_id"
+            f" ORDER BY refunds DESC")
+
+    def _q06(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 30, 120)
+        carrier = rng.randrange(100)
+        return (
+            f"{adhoc_tag(rng)} SELECT w.warehouse_id, cg.category_id, "
+            f"AVG(f.lag_days) AS avg_lag, SUM(f.ship_cost) AS cost "
+            f"FROM shipments f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f" JOIN warehouses w ON f.warehouse_id = w.warehouse_id"
+            f" JOIN carriers ca ON f.carrier_id = ca.carrier_id"
+            f"{self._PRODUCT_ARM}{self._STORE_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND f.carrier_id = {carrier}"
+            f" GROUP BY w.warehouse_id, cg.category_id")
+
+    def _q07(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 20, 80)
+        dept = rng.randrange(25)
+        return (
+            f"{adhoc_tag(rng)} SELECT sg.segment_id, st.format_id, "
+            f"SUM(f.line_amount) AS basket, AVG(f.line_quantity) AS avg_q "
+            f"FROM order_lines f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f"{self._CUSTOMER_ARM}{self._PRODUCT_ARM}{self._STORE_ARM}"
+            f"{self._PROMO_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND dp.department_id = {dept}"
+            f" GROUP BY sg.segment_id, st.format_id")
+
+    def _q08(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 15, 60)
+        chan = rng.randrange(20)
+        return (
+            f"{adhoc_tag(rng)} SELECT cg.category_id, rg.region_id, "
+            f"SUM(f.clicks) AS clicks, AVG(f.dwell_time) AS dwell "
+            f"FROM web_events f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f" JOIN channels ch ON f.channel_id = ch.channel_id"
+            f"{self._PRODUCT_ARM}{self._CUSTOMER_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND f.channel_id = {chan}"
+            f" GROUP BY cg.category_id, rg.region_id"
+            f" ORDER BY clicks DESC")
+
+    def _q09(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 45, 150)
+        country = rng.randrange(200)
+        return (
+            f"{adhoc_tag(rng)} SELECT w.warehouse_id, b.brand_id, "
+            f"AVG(f.on_hand) AS stock, SUM(f.on_order) AS ordered "
+            f"FROM inventory f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f" JOIN warehouses w ON f.warehouse_id = w.warehouse_id"
+            f"{self._PRODUCT_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND w.wh_country_id = {country}"
+            f" GROUP BY w.warehouse_id, b.brand_id")
+
+    def _q10(self, rng: random.Random) -> str:
+        lo, hi = self._date_window(rng, 30, 120)
+        role = rng.randrange(40)
+        return (
+            f"{adhoc_tag(rng)} SELECT e.employee_id, st.store_id, "
+            f"SUM(f.amount) AS revenue, COUNT(*) AS transactions "
+            f"FROM sales f"
+            f" JOIN dates d ON f.date_id = d.date_id"
+            f"{self._EMPLOYEE_ARM}{self._STORE_ARM}{self._PRODUCT_ARM}"
+            f"{self._CUSTOMER_ARM}"
+            f" WHERE f.date_id BETWEEN {lo} AND {hi}"
+            f" AND e.role_id = {role}"
+            f" GROUP BY e.employee_id, st.store_id"
+            f" ORDER BY revenue DESC")

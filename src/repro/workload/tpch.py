@@ -1,0 +1,216 @@
+"""A TPC-H-like moderate analytic workload.
+
+The paper positions TPC-H as the *moderate* compilation class: "queries
+contain between 0 and 8 joins" and "use one to two orders of magnitude
+[less] memory than [SALES] queries of similar scale".  This module
+provides that comparison class: the classic supplier/part/order schema
+at roughly scale factor 10, with templates of 0–6 joins.  Literals vary
+but the query *shape* repeats, so the plan cache gets hits unless the
+caller opts into ad-hoc tagging.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from repro.catalog import Catalog, Column, ColumnType, Index, Table
+from repro.workload.base import Workload, WorkloadQuery, adhoc_tag
+
+INT = ColumnType.INTEGER
+DEC = ColumnType.DECIMAL
+STR = ColumnType.VARCHAR
+DATE = ColumnType.DATE
+
+#: days spanned by order/shipping dates
+TPCH_DAYS = 2405
+
+
+class TpchWorkload(Workload):
+    """Schema + query mix in the spirit of TPC-H (scale ~10)."""
+
+    name = "tpch"
+
+    def __init__(self, scale: float = 1.0, adhoc: bool = False):
+        super().__init__(scale)
+        #: when True, uniquify text so the plan cache never hits
+        self.adhoc = adhoc
+        self._templates: List[Tuple[str, Callable[[random.Random], str]]] = [
+            ("t01_pricing_summary", self._t01),
+            ("t03_shipping_priority", self._t03),
+            ("t05_local_supplier", self._t05),
+            ("t06_forecast_revenue", self._t06),
+            ("t10_returned_items", self._t10),
+            ("t12_shipmode", self._t12),
+        ]
+
+    def build_catalog(self) -> Catalog:
+        cat = Catalog()
+        r = self.rows
+        region_rows = r(5)
+        nation_rows = r(25)
+        supplier_rows = r(100_000)
+        customer_rows = r(1_500_000)
+        part_rows = r(2_000_000)
+        orders_rows = r(15_000_000)
+        lineitem_rows = r(60_000_000)
+
+        cat.create_table(Table(
+            name="region",
+            columns=(Column("r_regionkey", INT, ndv=region_rows, low=0,
+                            high=max(1, region_rows - 1)),
+                     Column("r_name", STR)),
+            row_count=region_rows,
+            indexes=(Index("pk_region", ("r_regionkey",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="nation",
+            columns=(Column("n_nationkey", INT, ndv=nation_rows, low=0,
+                            high=max(1, nation_rows - 1)),
+                     Column("n_regionkey", INT, ndv=region_rows, low=0,
+                            high=max(1, region_rows - 1)),
+                     Column("n_name", STR)),
+            row_count=nation_rows,
+            indexes=(Index("pk_nation", ("n_nationkey",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="supplier",
+            columns=(Column("s_suppkey", INT, ndv=supplier_rows, low=0,
+                            high=max(1, supplier_rows - 1)),
+                     Column("s_nationkey", INT, ndv=nation_rows, low=0,
+                            high=max(1, nation_rows - 1)),
+                     Column("s_name", STR), Column("s_acctbal", DEC,
+                                                   ndv=10_000, low=0,
+                                                   high=9_999)),
+            row_count=supplier_rows,
+            indexes=(Index("pk_supplier", ("s_suppkey",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="customer",
+            columns=(Column("c_custkey", INT, ndv=customer_rows, low=0,
+                            high=max(1, customer_rows - 1)),
+                     Column("c_nationkey", INT, ndv=nation_rows, low=0,
+                            high=max(1, nation_rows - 1)),
+                     Column("c_mktsegment", INT, ndv=5, low=0, high=4),
+                     Column("c_name", STR), Column("c_address", STR)),
+            row_count=customer_rows,
+            indexes=(Index("pk_customer", ("c_custkey",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="part",
+            columns=(Column("p_partkey", INT, ndv=part_rows, low=0,
+                            high=max(1, part_rows - 1)),
+                     Column("p_brand", INT, ndv=25, low=0, high=24),
+                     Column("p_type", INT, ndv=150, low=0, high=149),
+                     Column("p_size", INT, ndv=50, low=1, high=50),
+                     Column("p_name", STR)),
+            row_count=part_rows,
+            indexes=(Index("pk_part", ("p_partkey",), clustered=True,
+                           unique=True),)))
+        cat.create_table(Table(
+            name="orders",
+            columns=(Column("o_orderkey", INT, ndv=orders_rows, low=0,
+                            high=max(1, orders_rows - 1)),
+                     Column("o_custkey", INT, ndv=customer_rows, low=0,
+                            high=max(1, customer_rows - 1)),
+                     Column("o_orderdate", DATE, ndv=TPCH_DAYS, low=0,
+                            high=TPCH_DAYS - 1),
+                     Column("o_orderpriority", INT, ndv=5, low=0, high=4),
+                     Column("o_totalprice", DEC, ndv=100_000, low=0,
+                            high=99_999)),
+            row_count=orders_rows,
+            indexes=(Index("cix_orders", ("o_orderdate",),
+                           clustered=True),)))
+        cat.create_table(Table(
+            name="lineitem",
+            columns=(Column("l_orderkey", INT, ndv=orders_rows, low=0,
+                            high=max(1, orders_rows - 1)),
+                     Column("l_partkey", INT, ndv=part_rows, low=0,
+                            high=max(1, part_rows - 1)),
+                     Column("l_suppkey", INT, ndv=supplier_rows, low=0,
+                            high=max(1, supplier_rows - 1)),
+                     Column("l_shipdate", DATE, ndv=TPCH_DAYS, low=0,
+                            high=TPCH_DAYS - 1),
+                     Column("l_shipmode", INT, ndv=7, low=0, high=6),
+                     Column("l_returnflag", INT, ndv=3, low=0, high=2),
+                     Column("l_quantity", DEC, ndv=50, low=1, high=50),
+                     Column("l_extendedprice", DEC, ndv=100_000, low=0,
+                            high=99_999),
+                     Column("l_discount", DEC, ndv=11, low=0, high=10)),
+            row_count=lineitem_rows,
+            indexes=(Index("cix_lineitem", ("l_shipdate",),
+                           clustered=True),)))
+        return cat
+
+    def generate(self, rng: random.Random) -> WorkloadQuery:
+        name, template = self._templates[rng.randrange(len(self._templates))]
+        text = template(rng)
+        if self.adhoc:
+            text = f"{adhoc_tag(rng)} {text}"
+        return WorkloadQuery(text=text, template=name)
+
+    def _window(self, rng: random.Random, days: int) -> Tuple[int, int]:
+        start = rng.randint(0, TPCH_DAYS - days - 1)
+        return start, start + days
+
+    def _t01(self, rng: random.Random) -> str:
+        lo = rng.randint(TPCH_DAYS - 120, TPCH_DAYS - 60)
+        return (f"SELECT l.l_returnflag, SUM(l.l_quantity) AS sum_qty, "
+                f"SUM(l.l_extendedprice) AS sum_price, COUNT(*) AS n "
+                f"FROM lineitem l WHERE l.l_shipdate <= {lo} "
+                f"GROUP BY l.l_returnflag")
+
+    def _t03(self, rng: random.Random) -> str:
+        seg = rng.randrange(5)
+        lo, hi = self._window(rng, 30)
+        return (f"SELECT o.o_orderkey, SUM(l.l_extendedprice) AS revenue "
+                f"FROM customer c, orders o, lineitem l "
+                f"WHERE c.c_custkey = o.o_custkey "
+                f"AND l.l_orderkey = o.o_orderkey "
+                f"AND c.c_mktsegment = {seg} "
+                f"AND o.o_orderdate BETWEEN {lo} AND {hi} "
+                f"GROUP BY o.o_orderkey ORDER BY revenue DESC")
+
+    def _t05(self, rng: random.Random) -> str:
+        region = rng.randrange(5)
+        lo, hi = self._window(rng, 365)
+        return (f"SELECT n.n_nationkey, SUM(l.l_extendedprice) AS revenue "
+                f"FROM customer c, orders o, lineitem l, supplier s, "
+                f"nation n, region r "
+                f"WHERE c.c_custkey = o.o_custkey "
+                f"AND l.l_orderkey = o.o_orderkey "
+                f"AND l.l_suppkey = s.s_suppkey "
+                f"AND s.s_nationkey = n.n_nationkey "
+                f"AND n.n_regionkey = r.r_regionkey "
+                f"AND r.r_regionkey = {region} "
+                f"AND o.o_orderdate BETWEEN {lo} AND {hi} "
+                f"GROUP BY n.n_nationkey ORDER BY revenue DESC")
+
+    def _t06(self, rng: random.Random) -> str:
+        lo, hi = self._window(rng, 365)
+        disc = rng.randint(2, 8)
+        return (f"SELECT SUM(l.l_extendedprice * l.l_discount) AS revenue "
+                f"FROM lineitem l "
+                f"WHERE l.l_shipdate BETWEEN {lo} AND {hi} "
+                f"AND l.l_discount = {disc} AND l.l_quantity < 24")
+
+    def _t10(self, rng: random.Random) -> str:
+        lo, hi = self._window(rng, 90)
+        return (f"SELECT c.c_custkey, SUM(l.l_extendedprice) AS revenue "
+                f"FROM customer c, orders o, lineitem l, nation n "
+                f"WHERE c.c_custkey = o.o_custkey "
+                f"AND l.l_orderkey = o.o_orderkey "
+                f"AND c.c_nationkey = n.n_nationkey "
+                f"AND l.l_returnflag = 1 "
+                f"AND o.o_orderdate BETWEEN {lo} AND {hi} "
+                f"GROUP BY c.c_custkey ORDER BY revenue DESC")
+
+    def _t12(self, rng: random.Random) -> str:
+        mode = rng.randrange(7)
+        lo, hi = self._window(rng, 365)
+        return (f"SELECT l.l_shipmode, COUNT(*) AS n "
+                f"FROM orders o, lineitem l "
+                f"WHERE o.o_orderkey = l.l_orderkey "
+                f"AND l.l_shipmode = {mode} "
+                f"AND l.l_shipdate BETWEEN {lo} AND {hi} "
+                f"GROUP BY l.l_shipmode")

@@ -1,0 +1,121 @@
+"""Tests for selectivity and cardinality estimation."""
+
+import pytest
+
+from repro.optimizer import CardinalityEstimator
+from repro.plans import expressions as ex
+
+
+@pytest.fixture
+def estimator(star_catalog):
+    return CardinalityEstimator(star_catalog)
+
+
+def col(alias, name):
+    return ex.ColumnRef(alias, name)
+
+
+def lit(value):
+    return ex.Literal(value)
+
+
+def test_table_rows(estimator):
+    assert estimator.table_rows("fact_sales") == 1_000_000
+
+
+def test_no_predicate_selectivity_is_one(estimator):
+    assert estimator.local_selectivity("fact_sales", None) == 1.0
+
+
+def test_equality_selectivity_close_to_one_over_ndv(estimator):
+    pred = ex.Comparison("=", col("p", "category_id"), lit(7))
+    sel = estimator.local_selectivity("products", pred)
+    assert sel == pytest.approx(1 / 50, rel=0.3)
+
+
+def test_reversed_comparison_sides(estimator):
+    a = estimator.local_selectivity(
+        "products", ex.Comparison("=", col("p", "category_id"), lit(7)))
+    b = estimator.local_selectivity(
+        "products", ex.Comparison("=", lit(7), col("p", "category_id")))
+    assert a == b
+
+
+def test_range_selectivity(estimator):
+    pred = ex.Between(col("f", "date_id"), lit(0), lit(499))
+    sel = estimator.local_selectivity("fact_sales", pred)
+    assert sel == pytest.approx(0.5, rel=0.1)
+
+
+def test_open_range_selectivity(estimator):
+    pred = ex.Comparison("<", col("f", "date_id"), lit(250))
+    sel = estimator.local_selectivity("fact_sales", pred)
+    assert sel == pytest.approx(0.25, rel=0.15)
+
+
+def test_conjunction_independence(estimator):
+    p1 = ex.Comparison("=", col("f", "product_id"), lit(1))
+    p2 = ex.Comparison("=", col("f", "store_id"), lit(2))
+    combined = ex.And((p1, p2))
+    sel = estimator.local_selectivity("fact_sales", combined)
+    s1 = estimator.local_selectivity("fact_sales", p1)
+    s2 = estimator.local_selectivity("fact_sales", p2)
+    assert sel == pytest.approx(s1 * s2, rel=1e-6)
+
+
+def test_or_selectivity_bounded(estimator):
+    p1 = ex.Comparison("=", col("f", "store_id"), lit(1))
+    p2 = ex.Comparison("=", col("f", "store_id"), lit(2))
+    sel = estimator.local_selectivity("fact_sales", ex.Or((p1, p2)))
+    single = estimator.local_selectivity("fact_sales", p1)
+    assert single < sel < 2.5 * single
+
+
+def test_neq_is_complement(estimator):
+    eq = estimator.local_selectivity(
+        "fact_sales", ex.Comparison("=", col("f", "store_id"), lit(5)))
+    neq = estimator.local_selectivity(
+        "fact_sales", ex.Comparison("<>", col("f", "store_id"), lit(5)))
+    assert neq == pytest.approx(1.0 - eq, abs=1e-9)
+
+
+def test_join_selectivity_pk_fk(estimator):
+    cond = ex.Comparison("=", col("f", "product_id"), col("p", "product_id"))
+    sel = estimator.join_selectivity(
+        cond, {"f": "fact_sales", "p": "products"})
+    assert sel == pytest.approx(1 / 5000)
+
+
+def test_join_selectivity_none_is_cross_product(estimator):
+    assert estimator.join_selectivity(None, {}) == 1.0
+
+
+def test_group_count_capped_by_input(estimator):
+    keys = (col("p", "category_id"), col("s", "region_id"))
+    tables = {"p": "products", "s": "stores"}
+    assert estimator.group_count(keys, tables, input_rows=1e9) == 500
+    assert estimator.group_count(keys, tables, input_rows=100) == 100
+    assert estimator.group_count((), tables, input_rows=100) == 1.0
+
+
+def test_clustered_scan_window_from_between(estimator):
+    pred = ex.Between(col("f", "date_id"), lit(500), lit(599))
+    offset, length = estimator.clustered_scan_window("fact_sales", pred)
+    assert offset == pytest.approx(0.5, abs=0.01)
+    assert length == pytest.approx(0.1, abs=0.01)
+
+
+def test_scan_window_full_without_clustering_predicate(estimator):
+    pred = ex.Comparison("=", col("f", "store_id"), lit(5))
+    assert estimator.clustered_scan_window("fact_sales", pred) == (0.0, 1.0)
+
+
+def test_scan_window_full_without_clustered_index(estimator):
+    pred = ex.Comparison("=", col("c", "category_id"), lit(5))
+    assert estimator.clustered_scan_window("categories", pred) == (0.0, 1.0)
+
+
+def test_scan_window_empty_for_contradiction(estimator):
+    pred = ex.Between(col("f", "date_id"), lit(900), lit(100))
+    offset, length = estimator.clustered_scan_window("fact_sales", pred)
+    assert length == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.optimizer.cost import CostModel, CostParameters
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def cm():
+    return CostModel()
+
+
+def test_scan_cost_scales_with_fraction(cm):
+    full = cm.scan_cost(10 * GiB, 1.0, 1000)
+    half = cm.scan_cost(10 * GiB, 0.5, 1000)
+    assert half < full
+    assert half == pytest.approx(full / 2, rel=0.01)
+
+
+def test_scan_cost_io_dominated_for_big_tables(cm):
+    cost = cm.scan_cost(32 * GiB, 1.0, 1000)
+    io_only = 32 * GiB / cm.params.scan_bandwidth
+    assert cost == pytest.approx(io_only, rel=0.01)
+
+
+def test_hash_join_cost_monotone_in_inputs(cm):
+    small = cm.hash_join_cost(1000, 10_000, 5_000)
+    bigger = cm.hash_join_cost(10_000, 10_000, 5_000)
+    assert bigger > small
+
+
+def test_hash_join_memory_overhead(cm):
+    assert cm.hash_join_memory(100 * MiB) == pytest.approx(
+        100 * MiB * cm.params.hash_memory_factor)
+
+
+def test_nl_join_quadratic(cm):
+    base = cm.nl_join_cost(100, 100, 10)
+    scaled = cm.nl_join_cost(1000, 100, 10)
+    assert scaled > 9 * base
+
+
+def test_sort_cost_superlinear(cm):
+    assert cm.sort_cost(2_000_000) > 2 * cm.sort_cost(1_000_000)
+    assert cm.sort_cost(0) >= 0
+
+
+def test_memory_pressure_cost_positive_and_linear(cm):
+    one = cm.memory_pressure_cost(100 * MiB)
+    two = cm.memory_pressure_cost(200 * MiB)
+    assert one > 0
+    assert two == pytest.approx(2 * one)
+
+
+def test_hash_agg_and_stream_agg(cm):
+    hash_cost = cm.hash_agg_cost(1_000_000, 100)
+    stream_cost = cm.stream_agg_cost(1_000_000)
+    assert hash_cost > stream_cost  # hashing costs more than streaming
+    assert cm.hash_agg_memory(1000, 50.0) == pytest.approx(
+        1000 * 50.0 * cm.params.hash_memory_factor)
+
+
+def test_custom_parameters():
+    cm = CostModel(CostParameters(cpu_per_row=1.0))
+    assert cm.project_cost(100) == pytest.approx(25.0)
+    assert cm.filter_cost(100) == pytest.approx(50.0)

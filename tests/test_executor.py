@@ -1,0 +1,101 @@
+"""Tests for the query executor process."""
+
+import pytest
+
+from repro.config import paper_server_config
+from repro.errors import GrantTimeoutError
+from repro.execution import build_profile
+from repro.execution.operators import ExecutionProfile, ScanWork
+from repro.server import DatabaseServer
+from repro.units import MiB
+from tests.conftest import build_star_catalog, STAR_QUERY
+
+
+def make_server():
+    return DatabaseServer(paper_server_config(True), build_star_catalog())
+
+
+def compile_profile(server, sql):
+    from repro.sql import parse
+    bound = server.binder.bind(parse(sql))
+    result = server.optimizer.optimize(bound)
+    return build_profile(result.plan, server.catalog,
+                         server.optimizer.cost_model)
+
+
+def run_execution(server, profile):
+    def runner(env):
+        outcome = yield from server.executor.execute(profile,
+                                                     server.catalog)
+        return outcome
+
+    p = server.env.process(runner(server.env))
+    server.env.run()
+    return p.value
+
+
+def test_execution_produces_timing_breakdown():
+    server = make_server()
+    profile = compile_profile(server, STAR_QUERY)
+    outcome = run_execution(server, profile)
+    assert outcome.io_time > 0
+    assert outcome.cpu_time > 0
+    assert outcome.granted_bytes > 0
+    assert outcome.elapsed >= outcome.io_time + outcome.cpu_time
+
+
+def test_execution_releases_grant():
+    server = make_server()
+    profile = compile_profile(server, STAR_QUERY)
+    run_execution(server, profile)
+    assert server.grant_semaphore.outstanding_bytes == 0
+
+
+def test_warm_cache_speeds_up_second_run():
+    server = make_server()
+    profile = compile_profile(server, STAR_QUERY)
+    cold = run_execution(server, profile)
+    warm = run_execution(server, profile)
+    assert warm.io_time < cold.io_time
+    assert warm.buffer_hits > 0
+
+
+def test_small_grant_causes_spill():
+    server = make_server()
+    profile = ExecutionProfile(cpu_seconds=1.0, desired_memory=10_000 * MiB)
+    profile.scans.append(ScanWork("products", 0.0, 1.0))
+    outcome = run_execution(server, profile)
+    assert outcome.spilled
+    assert outcome.spill_time > 0
+    assert outcome.granted_bytes < profile.desired_memory
+
+
+def test_grant_timeout_error():
+    server = make_server()
+    cap = server.grant_semaphore.capacity_bytes
+    hog = server.grant_semaphore.request(cap)
+    assert hog.granted
+
+    profile = ExecutionProfile(cpu_seconds=0.1, desired_memory=100 * MiB)
+
+    def runner(env):
+        try:
+            yield from server.executor.execute(profile, server.catalog)
+        except GrantTimeoutError:
+            return env.now
+
+    p = server.env.process(runner(server.env))
+    server.env.run()
+    timeout = server.config.execution.grant_timeout
+    assert p.value == pytest.approx(timeout, rel=0.01)
+
+
+def test_desired_grant_clamped():
+    server = make_server()
+    profile = ExecutionProfile(desired_memory=100_000 * MiB)
+    ask = server.executor.desired_grant(profile)
+    cap = int(server.grant_semaphore.capacity_bytes
+              * server.config.execution.max_grant_fraction)
+    assert ask == cap
+    tiny = ExecutionProfile(desired_memory=1)
+    assert server.executor.desired_grant(tiny) == server.executor.MIN_GRANT

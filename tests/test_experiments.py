@@ -1,0 +1,86 @@
+"""Tests for the experiment harness (runner, figures, ablations).
+
+These run miniature configurations — the full reproductions live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.config import paper_server_config
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentConfig,
+    PRESETS,
+    figure1_monitors,
+    run_experiment,
+)
+from repro.experiments.ablations import (
+    config_with_gateways,
+    gateway_ladder,
+)
+from repro.experiments.runner import make_workload
+
+
+def test_presets_sane():
+    for preset in PRESETS.values():
+        assert preset.warmup > 0
+        assert preset.measure > 0
+        assert preset.bucket > 0
+
+
+def test_make_workload_by_name():
+    assert make_workload("sales").name == "sales"
+    assert make_workload("tpch").name == "tpch"
+    assert make_workload("oltp").name == "oltp"
+    with pytest.raises(ConfigurationError):
+        make_workload("nope")
+
+
+def test_build_server_config_applies_preset_and_throttle():
+    config = ExperimentConfig(preset="smoke", throttling=False)
+    server_config = config.build_server_config()
+    assert not server_config.throttle.enabled
+    assert server_config.optimizer_effort < 1.0
+    assert server_config.optimizer_memory_multiplier > 1.0
+
+
+def test_figure1_renders_both_modes():
+    text = figure1_monitors(True)
+    assert "small" in text and "big" in text
+
+
+def test_gateway_ladder_slicing():
+    assert len(gateway_ladder(0)) == 0
+    assert len(gateway_ladder(2)) == 2
+    with pytest.raises(ValueError):
+        gateway_ladder(4)
+    assert not config_with_gateways(0).throttle.enabled
+    assert config_with_gateways(2).throttle.enabled
+
+
+@pytest.mark.slow
+def test_run_experiment_oltp_smoke():
+    """A tiny end-to-end run through the harness."""
+    workload = make_workload("oltp")
+    result = run_experiment(ExperimentConfig(
+        workload="oltp", clients=3, throttling=True, preset="smoke",
+        seed=1, think_time=5.0), workload=workload)
+    assert result.completed > 0
+    assert result.throughput, "empty throughput series"
+    assert result.wall_seconds > 0
+    assert "compilation" in result.memory_by_clerk
+    assert result.config.clients == 3
+
+
+@pytest.mark.slow
+def test_run_experiment_reports_paper_time_axis():
+    """Series timestamps are reported in paper seconds starting at the
+    warm-up boundary."""
+    workload = make_workload("oltp")
+    preset = PRESETS["smoke"]
+    result = run_experiment(ExperimentConfig(
+        workload="oltp", clients=2, preset="smoke", seed=2),
+        workload=workload)
+    times = [t for t, _ in result.throughput]
+    assert times[0] == pytest.approx(preset.warmup)
+    assert times[-1] < preset.warmup + preset.measure

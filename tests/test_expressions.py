@@ -1,0 +1,102 @@
+"""Tests for the scalar-expression algebra."""
+
+import pytest
+
+from repro.plans import expressions as ex
+
+
+def col(alias, name="c"):
+    return ex.ColumnRef(alias, name)
+
+
+def test_column_ref_references():
+    ref = col("t", "x")
+    assert ref.referenced_aliases() == {"t"}
+    assert ref.referenced_columns() == {("t", "x")}
+    assert str(ref) == "t.x"
+
+
+def test_literal_is_leaf():
+    lit = ex.Literal(42)
+    assert lit.referenced_aliases() == frozenset()
+    assert str(lit) == "42"
+    assert str(ex.Literal("hi")) == "'hi'"
+
+
+def test_comparison_validation_and_refs():
+    cmp = ex.Comparison("=", col("a", "x"), col("b", "y"))
+    assert cmp.referenced_aliases() == {"a", "b"}
+    assert cmp.is_equi_join
+    with pytest.raises(ValueError):
+        ex.Comparison("~", col("a"), col("b"))
+
+
+def test_equi_join_detection_negative_cases():
+    same_table = ex.Comparison("=", col("a", "x"), col("a", "y"))
+    assert not same_table.is_equi_join
+    against_literal = ex.Comparison("=", col("a", "x"), ex.Literal(1))
+    assert not against_literal.is_equi_join
+    non_eq = ex.Comparison("<", col("a", "x"), col("b", "y"))
+    assert not non_eq.is_equi_join
+
+
+def test_between_references():
+    b = ex.Between(col("t", "x"), ex.Literal(1), ex.Literal(10))
+    assert b.referenced_aliases() == {"t"}
+    assert "BETWEEN" in str(b)
+
+
+def test_and_or_flattening_via_conjuncts():
+    p1 = ex.Comparison("=", col("a"), ex.Literal(1))
+    p2 = ex.Comparison("=", col("b"), ex.Literal(2))
+    p3 = ex.Comparison("=", col("c"), ex.Literal(3))
+    nested = ex.And((ex.And((p1, p2)), p3))
+    assert ex.conjuncts(nested) == (p1, p2, p3)
+    assert ex.conjuncts(None) == ()
+    assert ex.conjuncts(p1) == (p1,)
+
+
+def test_make_conjunction():
+    p1 = ex.Comparison("=", col("a"), ex.Literal(1))
+    p2 = ex.Comparison("=", col("b"), ex.Literal(2))
+    assert ex.make_conjunction([]) is None
+    assert ex.make_conjunction([p1]) is p1
+    both = ex.make_conjunction([p1, None, p2])
+    assert isinstance(both, ex.And)
+    assert both.children == (p1, p2)
+
+
+def test_or_references():
+    p1 = ex.Comparison("=", col("a"), ex.Literal(1))
+    p2 = ex.Comparison("=", col("b"), ex.Literal(2))
+    either = ex.Or((p1, p2))
+    assert either.referenced_aliases() == {"a", "b"}
+    assert "OR" in str(either)
+
+
+def test_aggregate_validation():
+    agg = ex.Aggregate("sum", col("t", "x"))
+    assert agg.referenced_aliases() == {"t"}
+    assert str(agg) == "SUM(t.x)"
+    star = ex.Aggregate("count", None)
+    assert star.referenced_aliases() == frozenset()
+    assert str(star) == "COUNT(*)"
+    distinct = ex.Aggregate("count", col("t", "x"), distinct=True)
+    assert "DISTINCT" in str(distinct)
+    with pytest.raises(ValueError):
+        ex.Aggregate("median", col("t", "x"))
+
+
+def test_arithmetic_validation():
+    arith = ex.Arithmetic("*", col("t", "a"), col("t", "b"))
+    assert arith.referenced_columns() == {("t", "a"), ("t", "b")}
+    with pytest.raises(ValueError):
+        ex.Arithmetic("%", col("t", "a"), col("t", "b"))
+
+
+def test_expressions_hashable_for_memo_keys():
+    p1 = ex.Comparison("=", col("a", "x"), ex.Literal(1))
+    p2 = ex.Comparison("=", col("a", "x"), ex.Literal(1))
+    assert p1 == p2
+    assert hash(p1) == hash(p2)
+    assert len({p1, p2}) == 1

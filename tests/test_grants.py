@@ -1,0 +1,102 @@
+"""Tests for the memory-grant resource semaphore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.execution.grants import ResourceSemaphore
+from repro.memory import MemoryManager
+from repro.units import MiB
+
+
+def make_semaphore(env, capacity=100, physical=200):
+    manager = MemoryManager(physical)
+    clerk = manager.clerk("workspace")
+    return manager, ResourceSemaphore(env, clerk, capacity)
+
+
+def test_grant_when_capacity_free(env):
+    manager, sem = make_semaphore(env)
+    grant = sem.request(60)
+    assert grant.granted
+    assert sem.outstanding_bytes == 60
+    assert sem.clerk.used == 60
+
+
+def test_fifo_head_blocks_tail(env):
+    manager, sem = make_semaphore(env)
+    g1 = sem.request(80)
+    g2 = sem.request(90)   # head of queue, does not fit
+    g3 = sem.request(20)   # would fit behind g1, but FIFO protects g2
+    assert g1.granted and not g2.granted and not g3.granted
+    sem.release(g1)
+    assert g2.granted and not g3.granted  # g2+g3 would exceed capacity
+
+
+def test_release_returns_clerk_memory(env):
+    manager, sem = make_semaphore(env)
+    g = sem.request(50)
+    sem.release(g)
+    assert sem.outstanding_bytes == 0
+    assert sem.clerk.used == 0
+
+
+def test_oversized_request_clamped_to_capacity(env):
+    manager, sem = make_semaphore(env, capacity=100)
+    g = sem.request(500)
+    assert g.granted
+    assert g.nbytes == 100
+
+
+def test_cancel_queued_request(env):
+    manager, sem = make_semaphore(env)
+    g1 = sem.request(100)
+    g2 = sem.request(100)
+    sem.cancel(g2)
+    sem.release(g1)
+    assert not g2.granted
+    assert sem.queued == 0
+
+
+def test_invalid_request_rejected(env):
+    manager, sem = make_semaphore(env)
+    with pytest.raises(SimulationError):
+        sem.request(0)
+    with pytest.raises(SimulationError):
+        ResourceSemaphore(env, manager.clerk("x"), 0)
+
+
+def test_physical_shortage_defers_grant_until_memory_frees(env):
+    """When physical memory cannot back a grant the request waits (it
+    does not fail) and is granted as soon as memory is released."""
+    manager, sem = make_semaphore(env, capacity=150, physical=200)
+    hog = manager.clerk("hog")
+    hog.allocate(180)
+    g = sem.request(100)   # capacity ok, physical memory not
+    env.run()
+    assert not g.granted
+    assert sem.stats.oom_failures >= 1
+    hog.free(180)          # release listener re-pumps the queue
+    assert g.granted
+    assert sem.outstanding_bytes == 100
+
+
+def test_wait_statistics(env):
+    manager, sem = make_semaphore(env)
+
+    def holder(env):
+        g = sem.request(100)
+        yield g
+        yield env.timeout(10)
+        sem.release(g)
+
+    def waiter(env):
+        g = sem.request(50)
+        yield g
+        sem.release(g)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert sem.stats.grants == 2
+    assert sem.stats.total_wait == pytest.approx(10.0)
+    assert sem.stats.peak_queue >= 1

@@ -1,0 +1,73 @@
+"""Tests for logical operator nodes (payloads, children, aliases)."""
+
+import pytest
+
+from repro.plans import expressions as ex
+from repro.plans import logical as lg
+
+
+def get(alias, table="t", predicate=None):
+    return lg.LogicalGet(alias=alias, table=table, predicate=predicate)
+
+
+def join_cond(a, b):
+    return ex.Comparison("=", ex.ColumnRef(a, "k"), ex.ColumnRef(b, "k"))
+
+
+def test_get_payload_includes_predicate():
+    plain = get("a")
+    filtered = get("a", predicate=ex.Comparison(
+        "=", ex.ColumnRef("a", "x"), ex.Literal(1)))
+    assert plain.payload() != filtered.payload()
+    assert plain.aliases() == {"a"}
+    assert plain.with_children(()) is plain
+
+
+def test_join_payload_excludes_children():
+    j1 = lg.LogicalJoin(get("a"), get("b"), join_cond("a", "b"))
+    j2 = lg.LogicalJoin(get("b"), get("a"), join_cond("a", "b"))
+    assert j1.payload() == j2.payload()  # identity lives in the children
+    assert j1.aliases() == {"a", "b"}
+
+
+def test_join_with_children_replaces():
+    j = lg.LogicalJoin(get("a"), get("b"), join_cond("a", "b"))
+    new = j.with_children((get("x"), get("y")))
+    assert isinstance(new, lg.LogicalJoin)
+    assert new.condition is j.condition
+    assert new.aliases() == {"x", "y"}
+    assert j.aliases() == {"a", "b"}  # original untouched
+
+
+def test_filter_and_project_payloads():
+    pred = ex.Comparison("=", ex.ColumnRef("a", "x"), ex.Literal(1))
+    flt = lg.LogicalFilter(get("a"), pred)
+    assert flt.payload() == ("filter", pred)
+    assert flt.child.alias == "a"
+    proj = lg.LogicalProject(get("a"), (ex.ColumnRef("a", "x"),))
+    assert proj.payload()[0] == "project"
+
+
+def test_aggregate_payload_and_aliases():
+    agg = lg.LogicalAggregate(
+        lg.LogicalJoin(get("a"), get("b"), join_cond("a", "b")),
+        keys=(ex.ColumnRef("a", "g"),),
+        aggregates=(ex.Aggregate("sum", ex.ColumnRef("b", "v")),))
+    assert agg.aliases() == {"a", "b"}
+    assert agg.payload()[0] == "aggregate"
+    rebuilt = agg.with_children((get("z"),))
+    assert rebuilt.keys == agg.keys
+    assert rebuilt.aliases() == {"z"}
+
+
+def test_sort_preserves_direction():
+    sort = lg.LogicalSort(get("a"), (ex.ColumnRef("a", "x"),), (True,))
+    assert sort.descending == (True,)
+    rebuilt = sort.with_children((get("b"),))
+    assert rebuilt.descending == (True,)
+
+
+def test_str_representations():
+    j = lg.LogicalJoin(get("a"), get("b"), join_cond("a", "b"))
+    assert "Join" in str(j)
+    assert "Get" in str(get("a"))

@@ -1,0 +1,177 @@
+"""Unit and property tests for the memory manager, clerks, accounts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    AccountClosedError,
+    ConfigurationError,
+    OutOfMemoryError,
+)
+from repro.memory import MemoryAccount, MemoryManager
+from repro.units import MiB
+
+
+def make_shrinker(clerk):
+    def shrink(goal):
+        released = min(goal, clerk.used)
+        if released:
+            clerk.free(released)
+        return released
+    return shrink
+
+
+def test_allocate_and_free_tracks_usage():
+    manager = MemoryManager(1000)
+    clerk = manager.clerk("a")
+    clerk.allocate(400)
+    assert manager.used == 400
+    assert manager.available == 600
+    clerk.free(150)
+    assert clerk.used == 250
+    assert manager.used == 250
+
+
+def test_clerk_is_singleton_per_name():
+    manager = MemoryManager(1000)
+    assert manager.clerk("x") is manager.clerk("x")
+
+
+def test_oom_raised_with_details():
+    manager = MemoryManager(100)
+    clerk = manager.clerk("a")
+    clerk.allocate(80)
+    with pytest.raises(OutOfMemoryError) as excinfo:
+        clerk.allocate(50)
+    assert excinfo.value.requested == 50
+    assert excinfo.value.available == 20
+    assert manager.oom_count == 1
+
+
+def test_reclaim_from_shrinkable_cache():
+    manager = MemoryManager(1000)
+    cache = manager.clerk("cache")
+    cache.allocate(900)
+    manager.register_shrinker("cache", make_shrinker(cache))
+    hungry = manager.clerk("hungry")
+    hungry.allocate(400)  # forces the cache to give back 300
+    assert hungry.used == 400
+    assert cache.used == 600
+    assert manager.reclaimed_bytes == 300
+
+
+def test_reclaim_largest_cache_first():
+    manager = MemoryManager(1000)
+    big = manager.clerk("big")
+    small = manager.clerk("small")
+    big.allocate(500)
+    small.allocate(300)
+    manager.register_shrinker("big", make_shrinker(big))
+    manager.register_shrinker("small", make_shrinker(small))
+    other = manager.clerk("other")
+    other.allocate(400)  # needs 200: big should donate before small
+    assert big.used == 300
+    assert small.used == 300
+
+
+def test_try_allocate_never_reclaims():
+    manager = MemoryManager(1000)
+    cache = manager.clerk("cache")
+    cache.allocate(900)
+    manager.register_shrinker("cache", make_shrinker(cache))
+    other = manager.clerk("other")
+    assert not other.try_allocate(200)
+    assert cache.used == 900  # untouched
+
+
+def test_free_more_than_used_rejected():
+    manager = MemoryManager(1000)
+    clerk = manager.clerk("a")
+    clerk.allocate(10)
+    with pytest.raises(ConfigurationError):
+        clerk.free(20)
+
+
+def test_negative_amounts_rejected():
+    manager = MemoryManager(1000)
+    clerk = manager.clerk("a")
+    with pytest.raises(ConfigurationError):
+        clerk.allocate(-1)
+    with pytest.raises(ConfigurationError):
+        clerk.free(-1)
+
+
+def test_peak_tracking():
+    manager = MemoryManager(1000)
+    clerk = manager.clerk("a")
+    clerk.allocate(300)
+    clerk.free(200)
+    clerk.allocate(100)
+    assert clerk.peak == 300
+    assert clerk.total_allocated == 400
+
+
+def test_account_charges_clerk():
+    manager = MemoryManager(1000)
+    clerk = manager.clerk("compilation")
+    account = MemoryAccount(clerk, label="q1")
+    account.allocate(100)
+    account.allocate(50)
+    assert account.used == 150
+    assert account.peak == 150
+    assert clerk.used == 150
+    released = account.close()
+    assert released == 150
+    assert clerk.used == 0
+
+
+def test_account_close_idempotent_and_final():
+    manager = MemoryManager(1000)
+    account = MemoryAccount(manager.clerk("c"), label="q")
+    account.allocate(10)
+    assert account.close() == 10
+    assert account.close() == 0
+    with pytest.raises(AccountClosedError):
+        account.allocate(1)
+
+
+def test_account_hooks_fire_after_allocation():
+    manager = MemoryManager(1000)
+    account = MemoryAccount(manager.clerk("c"))
+    seen = []
+    account.add_hook(lambda acct, n: seen.append((acct.used, n)))
+    account.allocate(10)
+    account.allocate(20)
+    assert seen == [(10, 10), (30, 20)]
+
+
+def test_account_free_partial():
+    manager = MemoryManager(1000)
+    account = MemoryAccount(manager.clerk("c"))
+    account.allocate(100)
+    account.free(40)
+    assert account.used == 60
+    with pytest.raises(AccountClosedError):
+        account.free(100)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.integers(min_value=-200, max_value=400)),
+                max_size=50))
+def test_accounting_invariant(ops):
+    """Property: manager.used always equals the sum of clerk usage and
+    never exceeds physical memory."""
+    manager = MemoryManager(2000)
+    for name, amount in ops:
+        clerk = manager.clerk(name)
+        try:
+            if amount >= 0:
+                clerk.allocate(amount)
+            else:
+                clerk.free(min(-amount, clerk.used))
+        except OutOfMemoryError:
+            pass
+        total = sum(c.used for c in manager.clerks())
+        assert manager.used == total
+        assert 0 <= manager.used <= manager.physical_memory

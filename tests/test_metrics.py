@@ -1,0 +1,136 @@
+"""Tests for time series, collector and reports."""
+
+import pytest
+
+from repro.metrics import (
+    BucketSeries,
+    GaugeSeries,
+    MetricsCollector,
+    QueryRecord,
+    ascii_chart,
+    render_table,
+)
+
+
+# ------------------------------------------------------------- BucketSeries
+def test_bucket_series_counts_into_buckets():
+    series = BucketSeries(bucket_width=10.0)
+    for t in (1, 5, 12, 15, 25):
+        series.record(float(t))
+    assert series.series(0, 30) == [(0.0, 2), (10.0, 2), (20.0, 1)]
+    assert series.total() == 5
+    assert series.total(t_from=10.0) == 3
+    assert series.total(t_to=10.0) == 2
+
+
+def test_bucket_series_fills_holes_with_zero():
+    series = BucketSeries(bucket_width=5.0)
+    series.record(1.0)
+    series.record(16.0)
+    assert series.series(0, 20) == [(0.0, 1), (5.0, 0), (10.0, 0), (15.0, 1)]
+
+
+def test_bucket_series_validates_width():
+    with pytest.raises(ValueError):
+        BucketSeries(bucket_width=0)
+
+
+# ------------------------------------------------------------- GaugeSeries
+def test_gauge_series_at_and_mean():
+    gauge = GaugeSeries()
+    gauge.record(0.0, 100)
+    gauge.record(10.0, 200)
+    gauge.record(20.0, 300)
+    assert gauge.at(-1) == 0.0
+    assert gauge.at(5.0) == 100
+    assert gauge.at(10.0) == 200
+    assert gauge.at(99.0) == 300
+    assert gauge.mean() == 200
+    assert gauge.mean(t_from=5.0, t_to=25.0) == 250
+    assert gauge.maximum() == 300
+    assert len(gauge) == 3
+
+
+def test_gauge_series_requires_time_order():
+    gauge = GaugeSeries()
+    gauge.record(5.0, 1)
+    with pytest.raises(ValueError):
+        gauge.record(4.0, 2)
+
+
+# ---------------------------------------------------------------- collector
+def record(ok=True, finished=100.0, kind=None, **kwargs):
+    defaults = dict(client=0, template="q", submitted=finished - 10,
+                    finished=finished, ok=ok, error_kind=kind)
+    defaults.update(kwargs)
+    return QueryRecord(**defaults)
+
+
+def test_collector_counts_successes_and_failures():
+    collector = MetricsCollector(bucket_width=100.0)
+    collector.record_query(record(ok=True, finished=50))
+    collector.record_query(record(ok=True, finished=150))
+    collector.record_query(record(ok=False, finished=150,
+                                  kind="gateway_timeout"))
+    assert collector.successes() == 2
+    assert collector.failure_total() == 1
+    assert collector.error_counts == {"gateway_timeout": 1}
+    assert collector.success_rate() == pytest.approx(2 / 3)
+
+
+def test_collector_throughput_series_window():
+    collector = MetricsCollector(bucket_width=10.0)
+    for t in (5, 15, 25, 35):
+        collector.record_query(record(finished=float(t)))
+    assert collector.throughput_series(10, 30) == [(10.0, 1), (20.0, 1)]
+    assert collector.successes(10, 30) == 2
+
+
+def test_collector_means_exclude_cached_compiles():
+    collector = MetricsCollector()
+    collector.record_query(record(compile_time=10.0, cached_plan=False,
+                                  execution_time=100.0))
+    collector.record_query(record(compile_time=0.0, cached_plan=True,
+                                  execution_time=50.0))
+    assert collector.mean_compile_time() == 10.0
+    assert collector.mean_execution_time() == 75.0
+
+
+def test_collector_degraded_count():
+    collector = MetricsCollector()
+    collector.record_query(record(degraded_plan=True))
+    collector.record_query(record(degraded_plan=False))
+    collector.record_query(record(ok=False, degraded_plan=True))
+    assert collector.degraded_count() == 1
+
+
+def test_collector_memory_sampling():
+    collector = MetricsCollector()
+    collector.sample_memory(1.0, {"buffer_pool": 100, "compilation": 50})
+    collector.sample_memory(2.0, {"buffer_pool": 200, "compilation": 70})
+    assert collector.memory["buffer_pool"].mean() == 150
+    assert collector.total_memory.at(2.0) == 270
+
+
+# ------------------------------------------------------------------ report
+def test_render_table_alignment():
+    text = render_table(("a", "bbb"), [(1, 2.5), (333, 4)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "333" in lines[2] or "333" in lines[3]
+    assert "2.5" in text
+
+
+def test_ascii_chart_contains_markers_and_legend():
+    chart = ascii_chart(
+        {"throttled": [(0, 10), (10, 20)],
+         "unthrottled": [(0, 5), (10, 8)]},
+        title="demo")
+    assert "demo" in chart
+    assert "*=throttled" in chart
+    assert "o=unthrottled" in chart
+    assert "*" in chart
+
+
+def test_ascii_chart_empty():
+    assert "(no data)" in ascii_chart({}, title="t")

@@ -1,0 +1,64 @@
+"""Tests for execution-profile derivation and the spill model."""
+
+import pytest
+
+from repro.execution import ExecutionProfile, build_profile
+from repro.execution.operators import MAX_SPILL_FACTOR
+from repro.optimizer import Optimizer
+from repro.sql import Binder, parse
+from repro.units import MiB
+
+
+def profile_for(catalog, sql):
+    opt = Optimizer(catalog)
+    bound = Binder(catalog).bind(parse(sql))
+    result = opt.optimize(bound)
+    return build_profile(result.plan, catalog, opt.cost_model)
+
+
+def test_profile_collects_scans(star_catalog, star_query):
+    profile = profile_for(star_catalog, star_query)
+    tables = {scan.table for scan in profile.scans}
+    assert tables == {"fact_sales", "products", "stores"}
+    fact = next(s for s in profile.scans if s.table == "fact_sales")
+    assert fact.length_fraction == pytest.approx(0.1, abs=0.02)
+    assert 0.45 <= fact.offset_fraction <= 0.55
+
+
+def test_profile_cpu_positive_and_memory_from_plan(star_catalog, star_query):
+    profile = profile_for(star_catalog, star_query)
+    assert profile.cpu_seconds > 0
+    assert profile.desired_memory > 0
+    assert profile.output_rows > 0
+
+
+def test_no_spill_when_grant_sufficient():
+    profile = ExecutionProfile(cpu_seconds=10, desired_memory=100 * MiB)
+    assert profile.spill_bytes(100 * MiB) == 0
+    assert profile.spill_bytes(200 * MiB) == 0
+    assert profile.spill_cpu(100 * MiB) == 0.0
+
+
+def test_spill_grows_with_shortfall():
+    profile = ExecutionProfile(cpu_seconds=10, desired_memory=100 * MiB)
+    mild = profile.spill_bytes(80 * MiB)
+    severe = profile.spill_bytes(20 * MiB)
+    assert 0 < mild < severe
+    # one-pass regime: write + read the overflow
+    assert mild == pytest.approx(2 * 20 * MiB, rel=0.01)
+
+
+def test_spill_passes_capped():
+    profile = ExecutionProfile(cpu_seconds=10, desired_memory=1000 * MiB)
+    worst = profile.spill_bytes(1)
+    assert worst <= 2 * 1000 * MiB * MAX_SPILL_FACTOR
+
+
+def test_spill_cpu_proportional_to_shortfall():
+    profile = ExecutionProfile(cpu_seconds=10, desired_memory=100 * MiB)
+    assert profile.spill_cpu(50 * MiB) == pytest.approx(10 * 0.3 * 0.5)
+
+
+def test_zero_desired_memory_never_spills():
+    profile = ExecutionProfile(cpu_seconds=1, desired_memory=0)
+    assert profile.spill_bytes(0) == 0

@@ -1,0 +1,140 @@
+"""Tests for the compilation pipeline (throttled compile process)."""
+
+import pytest
+
+from repro.config import paper_server_config
+from repro.errors import CompileOutOfMemoryError, GatewayTimeoutError
+from repro.server import DatabaseServer
+from repro.units import MiB
+from tests.conftest import build_star_catalog, STAR_QUERY
+
+
+def make_server(throttling=True, physical=None, **kwargs):
+    config = paper_server_config(throttling=throttling)
+    if physical is not None:
+        from dataclasses import replace
+        config = replace(config,
+                         hardware=replace(config.hardware,
+                                          physical_memory=physical))
+    return DatabaseServer(config, build_star_catalog())
+
+
+def test_compile_produces_plan_and_frees_memory(env):
+    server = make_server()
+
+    def run(env):
+        compiled = yield from server.pipeline.compile(STAR_QUERY, "q1")
+        return compiled
+
+    p = server.env.process(run(server.env))
+    server.env.run()
+    compiled = p.value
+    assert compiled.plan is not None
+    assert compiled.peak_memory > 0
+    assert compiled.compile_time > 0
+    assert not compiled.degraded
+    # "At the end of compilation, memory used in the process is freed"
+    assert server.compile_clerk.used == 0
+    assert server.pipeline.active == 0
+    assert not server.pipeline.live_accounts
+
+
+def test_compile_acquires_gateways_when_large(env):
+    server = make_server()
+
+    def run(env):
+        yield from server.pipeline.compile(STAR_QUERY, "q1")
+
+    server.env.process(run(server.env))
+    server.env.run()
+    small = server.governor.gateways[0]
+    # the star query is past the small threshold
+    assert small.stats.acquires >= 1
+    assert small.active == 0  # released afterwards
+
+
+def _hog_all_memory_mid_compile(server, label):
+    """Helper process: once the traced compilation has allocated its
+    first bytes, grab every remaining byte of physical memory so the
+    next optimizer allocation must fail."""
+    env = server.env
+    while True:
+        account = server.pipeline.live_accounts.get(label)
+        if account is not None and account.used > 0:
+            break
+        yield env.timeout(0.05)
+    hog = server.memory.clerk("hog")
+    hog.allocate(server.memory.available)
+
+
+def test_compile_oom_without_fallback_raises():
+    """With best-plan-so-far disabled, running out of memory mid-
+    optimization is a hard compile failure."""
+    server = make_server()
+    server.pipeline.best_plan_so_far = False
+
+    def run(env):
+        try:
+            yield from server.pipeline.compile(STAR_QUERY, "q1")
+        except CompileOutOfMemoryError:
+            return "oom"
+
+    p = server.env.process(run(server.env))
+    server.env.process(_hog_all_memory_mid_compile(server, "q1"))
+    server.env.run()
+    assert p.value == "oom"
+    assert server.pipeline.oom_failures == 1
+    assert server.compile_clerk.used == 0
+
+
+def test_compile_oom_with_fallback_degrades():
+    """With the extension on, memory exhaustion returns the best plan
+    found so far instead of an error (once stage 0 has finished)."""
+    server = make_server()
+
+    def run(env):
+        compiled = yield from server.pipeline.compile(STAR_QUERY, "q1")
+        return compiled
+
+    p = server.env.process(run(server.env))
+    server.env.process(_hog_all_memory_mid_compile(server, "q1"))
+    server.env.run()
+    compiled = p.value
+    assert compiled.degraded
+    assert compiled.plan is not None
+    assert server.pipeline.degraded_plans == 1
+
+
+def test_live_accounts_visible_during_compilation():
+    server = make_server()
+    seen = []
+
+    def run(env):
+        yield from server.pipeline.compile(STAR_QUERY, "traced")
+
+    def watcher(env):
+        while server.pipeline.active == 0:
+            yield env.timeout(0.1)
+        account = server.pipeline.live_accounts.get("traced")
+        seen.append(account.used if account else None)
+
+    server.env.process(run(server.env))
+    server.env.process(watcher(server.env))
+    server.env.run()
+    assert seen and seen[0] is not None
+
+
+def test_parse_error_propagates():
+    server = make_server()
+
+    def run(env):
+        try:
+            yield from server.pipeline.compile("SELEKT broken", "bad")
+        except Exception as exc:
+            return type(exc).__name__
+
+    p = server.env.process(run(server.env))
+    server.env.run()
+    assert p.value == "SqlSyntaxError"
+    assert server.pipeline.active == 0
+    assert server.compile_clerk.used == 0

@@ -1,0 +1,100 @@
+"""Tests for the compiled-plan cache."""
+
+import pytest
+
+from repro.broker.broker import BrokerNotification, BrokerSignal
+from repro.config import PlanCacheConfig
+from repro.memory import MemoryManager
+from repro.plancache import PlanCache
+from repro.plancache.cache import query_hash
+from repro.units import KiB, MiB
+
+
+def make_cache(max_bytes=10 * MiB, physical=100 * MiB):
+    manager = MemoryManager(physical)
+    cache = PlanCache(manager, PlanCacheConfig(max_bytes=max_bytes))
+    return manager, cache
+
+
+def test_query_hash_whitespace_and_case_insensitive():
+    assert query_hash("SELECT  a\nFROM t") == query_hash("select a from t")
+    assert query_hash("select a from t") != query_hash("select b from t")
+
+
+def test_put_get_roundtrip():
+    manager, cache = make_cache()
+    assert cache.get("k") is None
+    assert cache.put("k", "plan", 100 * KiB, compile_cost=5.0, now=1.0)
+    entry = cache.get("k", now=2.0)
+    assert entry.plan == "plan"
+    assert entry.hits == 1
+    assert entry.last_used == 2.0
+    assert cache.hit_rate() == 0.5
+
+
+def test_put_duplicate_is_noop():
+    manager, cache = make_cache()
+    cache.put("k", "v1", 100 * KiB, 1.0)
+    assert cache.put("k", "v2", 100 * KiB, 1.0)
+    assert cache.get("k").plan == "v1"
+    assert cache.insertions == 1
+
+
+def test_eviction_when_full():
+    manager, cache = make_cache(max_bytes=1 * MiB)
+    for i in range(20):
+        cache.put(f"k{i}", i, 100 * KiB, compile_cost=1.0, now=float(i))
+    assert cache.size_bytes <= 1 * MiB
+    assert cache.evictions > 0
+    assert len(cache) <= 10
+
+
+def test_eviction_prefers_cheap_plans():
+    manager, cache = make_cache(max_bytes=300 * KiB)
+    cache.put("expensive", "e", 100 * KiB, compile_cost=100.0, now=0.0)
+    cache.put("cheap", "c", 100 * KiB, compile_cost=0.1, now=1.0)
+    cache.put("third", "t", 100 * KiB, compile_cost=1.0, now=2.0)
+    cache.put("fourth", "f", 100 * KiB, compile_cost=1.0, now=3.0)
+    # the cheap old plan should be gone before the expensive older one
+    assert cache.get("expensive") is not None
+    assert cache.get("cheap") is None
+
+
+def test_cache_never_reclaims_other_components():
+    manager, cache = make_cache(max_bytes=50 * MiB, physical=10 * MiB)
+    hog = manager.clerk("hog")
+    hog.allocate(10 * MiB - 100 * KiB)
+    assert cache.put("a", 1, 64 * KiB, 1.0)
+    assert not cache.put("b", 2, 128 * KiB, 1.0)  # no room, no theft
+    assert hog.used == 10 * MiB - 100 * KiB
+
+
+def test_shrink_callback_frees():
+    manager, cache = make_cache()
+    for i in range(10):
+        cache.put(f"k{i}", i, 100 * KiB, 1.0)
+    freed = cache.shrink(350 * KiB)
+    assert freed >= 350 * KiB
+    assert len(cache) <= 6
+
+
+def test_broker_shrink_notification():
+    manager, cache = make_cache()
+    for i in range(10):
+        cache.put(f"k{i}", i, 100 * KiB, 1.0)
+    before = cache.size_bytes
+    note = BrokerNotification(
+        clerk="plan_cache", signal=BrokerSignal.SHRINK,
+        current=before, predicted=before, target=before // 2, at=0.0)
+    cache.on_broker_notification(note)
+    assert cache.size_bytes <= before // 2 + 100 * KiB
+
+
+def test_broker_grow_notification_is_noop():
+    manager, cache = make_cache()
+    cache.put("k", 1, 100 * KiB, 1.0)
+    note = BrokerNotification(
+        clerk="plan_cache", signal=BrokerSignal.GROW,
+        current=0, predicted=0, target=10 * MiB, at=0.0)
+    cache.on_broker_notification(note)
+    assert cache.get("k") is not None

@@ -1,0 +1,125 @@
+"""Integration tests: the whole server, end to end."""
+
+import random
+
+import pytest
+
+from repro.config import paper_server_config
+from repro.server import DatabaseServer
+from repro.workload import LoadGenerator, OltpWorkload, SalesWorkload
+from tests.conftest import build_star_catalog, STAR_QUERY
+
+
+def make_server(throttling=True, time_scale=1.0):
+    config = paper_server_config(throttling=throttling)
+    if time_scale != 1.0:
+        config = config.scaled(time_scale)
+    return DatabaseServer(config, build_star_catalog())
+
+
+def test_single_query_end_to_end():
+    server = make_server()
+    outcome = server.execute_sync(STAR_QUERY)
+    assert outcome.ok, outcome.error_message
+    assert outcome.compile_time > 0
+    assert outcome.execution_time > 0
+    assert not outcome.cached_plan
+    assert outcome.output_rows > 0
+
+
+def test_plan_cache_hit_on_repeat():
+    server = make_server()
+    first = server.execute_sync(STAR_QUERY)
+    second = server.execute_sync(STAR_QUERY)
+    assert first.ok and second.ok
+    assert not first.cached_plan
+    assert second.cached_plan
+    assert second.compile_time == 0.0
+    assert server.plan_cache.hits == 1
+
+
+def test_uniquified_text_misses_cache():
+    server = make_server()
+    a = server.execute_sync(f"/* adhoc 1 */ {STAR_QUERY}")
+    b = server.execute_sync(f"/* adhoc 2 */ {STAR_QUERY}")
+    assert a.ok and b.ok
+    assert not b.cached_plan
+
+
+def test_failed_query_returns_outcome_not_exception():
+    server = make_server()
+    outcome = server.execute_sync("SELECT broken FROM nowhere")
+    assert not outcome.ok
+    assert outcome.error_kind == "bind_error"
+
+
+def test_concurrent_queries_all_complete():
+    server = make_server()
+    server.start()
+    rng = random.Random(5)
+    processes = []
+    for i in range(6):
+        text = f"/* adhoc {rng.random()} */ {STAR_QUERY}"
+        processes.append(server.submit(text, label=f"c{i}"))
+    server.env.run(until=4000.0)
+    outcomes = [p.value for p in processes if not p.is_alive]
+    assert len(outcomes) == 6
+    assert all(o.ok for o in outcomes)
+
+
+def test_time_scale_speeds_up_wall_clock():
+    slow = make_server(time_scale=1.0)
+    fast = make_server(time_scale=10.0)
+    a = slow.execute_sync(STAR_QUERY)
+    b = fast.execute_sync(STAR_QUERY)
+    assert a.ok and b.ok
+    # same work, ten times less simulated time
+    ratio = (a.compile_time + a.execution_time) / max(
+        1e-9, b.compile_time + b.execution_time)
+    assert ratio == pytest.approx(10.0, rel=0.2)
+
+
+def test_throttling_disabled_keeps_gateways_idle():
+    server = make_server(throttling=False)
+    outcome = server.execute_sync(STAR_QUERY)
+    assert outcome.ok
+    assert all(g.stats.acquires == 0 for g in server.governor.gateways)
+
+
+def test_load_generator_drives_server():
+    workload = OltpWorkload(scale=0.01)
+    config = paper_server_config(throttling=True)
+    server = DatabaseServer(config, workload.build_catalog())
+    generator = LoadGenerator(server, workload, clients=4, duration=600.0,
+                              seed=9, think_time=5.0)
+    generator.run()
+    totals = generator.totals()
+    assert totals.submitted > 10
+    assert totals.succeeded > 0
+    # at most one in-flight query per client when the clock stops
+    in_flight = totals.submitted - (totals.succeeded + totals.failed)
+    assert 0 <= in_flight <= 4
+    assert server.metrics.successes() == totals.succeeded
+
+
+def test_oltp_queries_stay_below_medium_gateway():
+    """OLTP compiles belong to the small category (paper §4.1)."""
+    workload = OltpWorkload(scale=0.01)
+    server = DatabaseServer(paper_server_config(True),
+                            workload.build_catalog())
+    generator = LoadGenerator(server, workload, clients=4, duration=400.0,
+                              seed=3, think_time=5.0)
+    generator.run()
+    assert server.metrics.successes() > 0
+    medium, big = server.governor.gateways[1:]
+    assert medium.stats.acquires == 0
+    assert big.stats.acquires == 0
+
+
+def test_memory_sampler_populates_metrics():
+    server = make_server()
+    server.start()
+    server.submit(STAR_QUERY)
+    server.env.run(until=100.0)
+    assert "compilation" in server.metrics.memory
+    assert len(server.metrics.total_memory) > 0

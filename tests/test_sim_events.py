@@ -1,0 +1,122 @@
+"""Unit tests for the event layer of the simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+
+
+def test_event_starts_pending(env):
+    event = env.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_event_value_unavailable_before_trigger(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_succeed_sets_value(env):
+    event = env.event()
+    event.succeed(42)
+    assert event.triggered
+    assert event.ok
+    assert event.value == 42
+
+
+def test_double_trigger_rejected(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(ValueError("x"))
+
+
+def test_fail_requires_exception(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_fires_at_right_time(env):
+    fired = []
+    timeout = env.timeout(5, value="done")
+    timeout.add_callback(lambda e: fired.append((env.now, e.value)))
+    env.run()
+    assert fired == [(5.0, "done")]
+
+
+def test_timeouts_ordered_fifo_at_same_time(env):
+    order = []
+    for name in ("a", "b", "c"):
+        t = env.timeout(1, value=name)
+        t.add_callback(lambda e: order.append(e.value))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_any_of_fires_on_first(env):
+    fast = env.timeout(1, value="fast")
+    slow = env.timeout(10, value="slow")
+    any_of = env.any_of([fast, slow])
+    results = []
+    any_of.add_callback(lambda e: results.append((env.now, dict(e.value))))
+    env.run()
+    when, values = results[0]
+    assert when == 1.0
+    assert fast in values and slow not in values
+
+
+def test_all_of_waits_for_all(env):
+    events = [env.timeout(t) for t in (1, 5, 3)]
+    all_of = env.all_of(events)
+    results = []
+    all_of.add_callback(lambda e: results.append(env.now))
+    env.run()
+    assert results == [5.0]
+
+
+def test_all_of_empty_fires_immediately(env):
+    all_of = env.all_of([])
+    assert all_of.triggered
+
+
+def test_condition_mixed_environments_rejected():
+    env_a, env_b = Environment(), Environment()
+    with pytest.raises(SimulationError):
+        AnyOf(env_a, [env_a.event(), env_b.event()])
+
+
+def test_unhandled_failure_surfaces(env):
+    event = env.event()
+    event.fail(ValueError("nobody caught me"))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_run_until_advances_clock_exactly(env):
+    env.timeout(3)
+    env.run(until=7.5)
+    assert env.now == 7.5
+
+
+def test_run_until_past_rejected(env):
+    env.run(until=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_peek_reports_next_event_time(env):
+    assert env.peek() == float("inf")
+    env.timeout(4)
+    assert env.peek() == 4.0

@@ -1,0 +1,140 @@
+"""Unit tests for generator processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+from tests.conftest import drain
+
+
+def test_process_returns_value(env):
+    def proc(env):
+        yield env.timeout(2)
+        return "done"
+
+    p = env.process(proc(env))
+    assert drain(env, p) == "done"
+    assert env.now == 2.0
+
+
+def test_process_sequential_timeouts(env):
+    times = []
+
+    def proc(env):
+        for delay in (1, 2, 3):
+            yield env.timeout(delay)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_process_waits_on_process(env):
+    def inner(env):
+        yield env.timeout(5)
+        return 21
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value * 2
+
+    p = env.process(outer(env))
+    assert drain(env, p) == 42
+
+
+def test_exception_propagates_to_waiter(env):
+    def failing(env):
+        yield env.timeout(1)
+        raise RuntimeError("inner boom")
+
+    def waiter(env, target):
+        try:
+            yield target
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    target = env.process(failing(env))
+    p = env.process(waiter(env, target))
+    assert drain(env, p) == "caught inner boom"
+
+
+def test_unhandled_process_failure_raises_from_run(env):
+    def failing(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(failing(env))
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_interrupt_wakes_process_early(env):
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            return "overslept"
+        except Interrupt as interrupt:
+            return ("interrupted", env.now, interrupt.cause)
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == ("interrupted", 3.0, "wake up")
+
+
+def test_interrupt_finished_process_rejected(env):
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_yielding_non_event_fails(env):
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_process_needs_generator(env):
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)
+
+
+def test_process_waiting_on_already_processed_event(env):
+    timeout = env.timeout(1)
+
+    def late(env):
+        yield env.timeout(5)
+        value = yield timeout  # long since processed
+        return value
+
+    def proc_value(env):
+        p = env.process(late(env))
+        got = yield p
+        return got
+
+    p = env.process(proc_value(env))
+    env.run()
+    assert p.value is None  # timeout's default value
+    assert env.now == 5.0
+
+
+def test_is_alive_lifecycle(env):
+    def proc(env):
+        yield env.timeout(2)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive

@@ -1,0 +1,147 @@
+"""Unit and property tests for Resource and Store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_grants_up_to_capacity(env):
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    env.run()
+    assert r1.granted and r2.granted and not r3.granted
+    assert res.count == 2
+    assert res.queued == 1
+
+
+def test_release_admits_next_fifo(env):
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, name, hold):
+        req = res.request()
+        yield req
+        order.append((name, env.now))
+        yield env.timeout(hold)
+        res.release(req)
+
+    for name, hold in (("a", 5), ("b", 3), ("c", 1)):
+        env.process(worker(env, name, hold))
+    env.run()
+    assert order == [("a", 0.0), ("b", 5.0), ("c", 8.0)]
+
+
+def test_cancel_removes_queued_request(env):
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    res.cancel(second)
+    res.release(first)
+    env.run()
+    assert not second.granted
+    assert res.count == 0
+
+
+def test_release_of_ungranted_request_cancels(env):
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    res.release(second)  # not granted: behaves as cancel
+    assert res.queued == 0
+    assert first.granted
+
+
+def test_set_capacity_grows_and_wakes(env):
+    res = Resource(env, capacity=1)
+    r1, r2 = res.request(), res.request()
+    assert not r2.granted
+    res.set_capacity(2)
+    assert r2.granted
+
+
+def test_set_capacity_shrink_does_not_evict(env):
+    res = Resource(env, capacity=2)
+    r1, r2 = res.request(), res.request()
+    res.set_capacity(1)
+    assert r1.granted and r2.granted
+    assert res.count == 2
+    res.release(r1)
+    r3 = res.request()
+    assert not r3.granted  # still at the (reduced) capacity
+
+
+def test_negative_capacity_rejected(env):
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=-1)
+    res = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        res.set_capacity(-2)
+
+
+def test_request_context_manager(env):
+    res = Resource(env, capacity=1)
+
+    def worker(env):
+        with res.request() as req:
+            yield req
+            assert res.count == 1
+        return res.count
+
+    p = env.process(worker(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_store_put_then_get(env):
+    store = Store(env)
+    store.put("x")
+    got = store.get()
+    assert got.triggered and got.value == "x"
+    assert len(store) == 0
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+
+    def getter(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def putter(env):
+        yield env.timeout(4)
+        store.put("late")
+
+    p = env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert p.value == (4.0, "late")
+
+
+@settings(max_examples=50, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=8),
+       holds=st.lists(st.integers(min_value=1, max_value=20),
+                      min_size=1, max_size=24))
+def test_resource_never_exceeds_capacity(capacity, holds):
+    """Property: at no simulated instant do users exceed capacity, and
+    every request is eventually granted."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    granted = []
+    over_capacity = []
+
+    def worker(env, hold):
+        req = res.request()
+        yield req
+        if res.count > capacity:
+            over_capacity.append(env.now)
+        yield env.timeout(hold)
+        res.release(req)
+        granted.append(hold)
+
+    for hold in holds:
+        env.process(worker(env, hold))
+    env.run()
+    assert not over_capacity
+    assert len(granted) == len(holds)

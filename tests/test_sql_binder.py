@@ -1,0 +1,134 @@
+"""Tests for name resolution and logical-plan construction."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.plans import expressions as ex
+from repro.plans import logical as lg
+from repro.sql import Binder, parse
+
+
+def bind(catalog, sql):
+    return Binder(catalog).bind(parse(sql))
+
+
+def test_bind_star_query_shape(star_catalog, star_query):
+    bound = bind(star_catalog, star_query)
+    assert bound.join_count == 2
+    assert bound.table_count == 3
+    assert bound.aliases == {"f": "fact_sales", "p": "products",
+                             "s": "stores"}
+    # Sort > Project > Aggregate > joins
+    assert isinstance(bound.root, lg.LogicalSort)
+    project = bound.root.child
+    assert isinstance(project, lg.LogicalProject)
+    agg = project.child
+    assert isinstance(agg, lg.LogicalAggregate)
+    assert len(agg.keys) == 2
+    assert len(agg.aggregates) == 1
+
+
+def test_local_predicates_pushed_to_get(star_catalog):
+    bound = bind(star_catalog,
+                 "SELECT f.amount FROM fact_sales f, products p "
+                 "WHERE f.product_id = p.product_id AND p.category_id = 3 "
+                 "AND f.date_id > 100")
+    join = bound.root.child  # Project > Join
+    assert isinstance(join, lg.LogicalJoin)
+    left, right = join.children
+    assert isinstance(left, lg.LogicalGet) and left.alias == "f"
+    assert left.predicate is not None  # date filter pushed down
+    assert isinstance(right, lg.LogicalGet) and right.alias == "p"
+    assert right.predicate is not None  # category filter pushed down
+    assert join.condition is not None
+
+
+def test_unqualified_column_resolved_when_unique(star_catalog):
+    bound = bind(star_catalog,
+                 "SELECT amount FROM fact_sales f WHERE date_id = 7")
+    (out,) = bound.output
+    assert out == ex.ColumnRef("f", "amount")
+
+
+def test_ambiguous_column_rejected(star_catalog):
+    with pytest.raises(BindError, match="ambiguous"):
+        bind(star_catalog,
+             "SELECT product_id FROM fact_sales f, products p "
+             "WHERE f.product_id = p.product_id")
+
+
+def test_unknown_table_alias_column(star_catalog):
+    with pytest.raises(BindError, match="unknown table"):
+        bind(star_catalog, "SELECT a FROM nonexistent")
+    with pytest.raises(BindError, match="unknown alias"):
+        bind(star_catalog, "SELECT z.amount FROM fact_sales f")
+    with pytest.raises(BindError, match="no column"):
+        bind(star_catalog, "SELECT f.nope FROM fact_sales f")
+
+
+def test_duplicate_alias_rejected(star_catalog):
+    with pytest.raises(BindError, match="duplicate alias"):
+        bind(star_catalog, "SELECT f.amount FROM fact_sales f, products f")
+
+
+def test_count_star_binds(star_catalog):
+    bound = bind(star_catalog, "SELECT COUNT(*) FROM fact_sales f")
+    (out,) = bound.output
+    assert isinstance(out, ex.Aggregate)
+    assert out.func == "count" and out.arg is None
+
+
+def test_sum_star_rejected(star_catalog):
+    with pytest.raises(BindError):
+        bind(star_catalog, "SELECT SUM(*) FROM fact_sales f")
+
+
+def test_group_by_must_be_plain_column(star_catalog):
+    with pytest.raises(BindError):
+        bind(star_catalog,
+             "SELECT SUM(f.amount) FROM fact_sales f GROUP BY f.amount + 1")
+
+
+def test_order_by_select_alias(star_catalog):
+    bound = bind(star_catalog,
+                 "SELECT p.category_id, SUM(f.amount) AS total "
+                 "FROM fact_sales f, products p "
+                 "WHERE f.product_id = p.product_id "
+                 "GROUP BY p.category_id ORDER BY total")
+    assert isinstance(bound.root, lg.LogicalSort)
+    assert isinstance(bound.root.keys[0], ex.Aggregate)
+
+
+def test_explicit_join_conditions_merge_with_where(star_catalog):
+    bound = bind(star_catalog,
+                 "SELECT f.amount FROM fact_sales f "
+                 "JOIN products p ON f.product_id = p.product_id "
+                 "WHERE p.category_id = 1")
+    join = bound.root.child
+    assert isinstance(join, lg.LogicalJoin)
+    assert join.condition is not None
+
+
+def test_or_predicate_stays_on_table(star_catalog):
+    bound = bind(star_catalog,
+                 "SELECT f.amount FROM fact_sales f "
+                 "WHERE f.date_id = 1 OR f.date_id = 2")
+    get = bound.root.child
+    assert isinstance(get, lg.LogicalGet)
+    assert isinstance(get.predicate, ex.Or)
+
+
+def test_cross_join_allowed(star_catalog):
+    bound = bind(star_catalog,
+                 "SELECT f.amount FROM fact_sales f CROSS JOIN stores s")
+    join = bound.root.child
+    assert isinstance(join, lg.LogicalJoin)
+    assert join.condition is None
+
+
+def test_constant_predicate_attaches_to_first_table(star_catalog):
+    bound = bind(star_catalog,
+                 "SELECT f.amount FROM fact_sales f WHERE 1 = 1")
+    get = bound.root.child
+    assert isinstance(get, lg.LogicalGet)
+    assert get.predicate is not None

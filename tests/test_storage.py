@@ -1,0 +1,226 @@
+"""Tests for the disk model, page map and buffer pool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import HardwareConfig
+from repro.errors import CatalogError
+from repro.memory import MemoryManager
+from repro.sim import Environment
+from repro.storage import BufferPool, CHUNK_SIZE, ChunkRange, DiskModel, PageMap
+from repro.units import GiB, MiB
+from tests.conftest import drain
+
+
+# ------------------------------------------------------------------ pagemap
+def test_pagemap_layout_is_contiguous():
+    pm = PageMap()
+    a = pm.add_table("a", 10 * CHUNK_SIZE)
+    b = pm.add_table("b", 1)  # tiny table still gets one chunk
+    assert (a.start, a.stop) == (0, 10)
+    assert (b.start, b.stop) == (10, 11)
+    assert pm.total_chunks == 11
+    assert pm.range_of("a") == a
+
+
+def test_pagemap_rejects_duplicates_and_unknown():
+    pm = PageMap()
+    pm.add_table("a", CHUNK_SIZE)
+    with pytest.raises(CatalogError):
+        pm.add_table("a", CHUNK_SIZE)
+    with pytest.raises(CatalogError):
+        pm.range_of("zzz")
+
+
+def test_chunk_range_slice():
+    crange = ChunkRange(100, 200)
+    window = crange.slice(0.5, 0.1)
+    assert window.start == 150
+    assert len(window) == 10
+    # clamped at the end
+    tail = crange.slice(0.99, 0.5)
+    assert tail.stop == 200
+    assert len(tail) >= 1
+
+
+def test_chunk_range_slice_empty_fraction_gives_one_chunk():
+    crange = ChunkRange(0, 50)
+    window = crange.slice(0.0, 0.0)
+    assert len(window) == 1
+
+
+@given(offset=st.floats(min_value=0, max_value=1),
+       length=st.floats(min_value=0, max_value=1))
+def test_chunk_range_slice_always_within_parent(offset, length):
+    crange = ChunkRange(10, 60)
+    window = crange.slice(offset, length)
+    assert 10 <= window.start <= window.stop <= 60
+
+
+# ------------------------------------------------------------------ disk
+def make_disk(env, disks=2, bandwidth=100 * MiB):
+    hw = HardwareConfig(disks=disks, disk_bandwidth=bandwidth,
+                        disk_seek_time=0.01)
+    return DiskModel(env, hw)
+
+
+def test_disk_service_time(env):
+    disk = make_disk(env)
+    t = disk.service_time(100 * MiB)
+    assert t == pytest.approx(0.01 + 1.0)
+
+
+def test_disk_read_takes_service_time(env):
+    disk = make_disk(env)
+
+    def reader(env):
+        elapsed = yield from disk.read(100 * MiB)
+        return elapsed
+
+    p = env.process(reader(env))
+    assert drain(env, p) == pytest.approx(1.01)
+    assert disk.stats.requests == 1
+    assert disk.stats.bytes_read == 100 * MiB
+
+
+def test_disk_queues_when_channels_busy(env):
+    disk = make_disk(env, disks=1)
+    done = []
+
+    def reader(env, name):
+        yield from disk.read(100 * MiB)
+        done.append((name, env.now))
+
+    env.process(reader(env, "a"))
+    env.process(reader(env, "b"))
+    env.run()
+    assert done[0][1] == pytest.approx(1.01)
+    assert done[1][1] == pytest.approx(2.02)
+    assert disk.stats.queue_wait == pytest.approx(1.01)
+
+
+def test_disk_parallel_channels(env):
+    disk = make_disk(env, disks=2)
+    done = []
+
+    def reader(env):
+        yield from disk.read(100 * MiB)
+        done.append(env.now)
+
+    env.process(reader(env))
+    env.process(reader(env))
+    env.run()
+    assert done == [pytest.approx(1.01), pytest.approx(1.01)]
+
+
+# ------------------------------------------------------------------ pool
+def make_pool(env, physical=64 * CHUNK_SIZE, floor=2 * CHUNK_SIZE):
+    manager = MemoryManager(physical)
+    disk = make_disk(env, disks=4)
+    pool = BufferPool(env, manager, disk, floor_bytes=floor)
+    return manager, pool
+
+
+def test_pool_miss_then_hit(env):
+    manager, pool = make_pool(env)
+    crange = ChunkRange(0, 4)
+
+    def reader(env):
+        first = yield from pool.read_range(crange)
+        second = yield from pool.read_range(crange)
+        return first, second
+
+    p = env.process(reader(env))
+    first, second = drain(env, p)
+    assert first.misses == 4 and first.hits == 0
+    assert second.hits == 4 and second.misses == 0
+    assert second.io_time == 0.0
+    assert pool.size_bytes == 4 * CHUNK_SIZE
+
+
+def test_pool_lru_eviction_order(env):
+    manager, pool = make_pool(env, physical=4 * CHUNK_SIZE, floor=0)
+
+    def reader(env):
+        for chunk in range(4):                          # fill the pool
+            yield from pool.read_range(ChunkRange(chunk, chunk + 1))
+        yield from pool.read_range(ChunkRange(0, 1))   # touch chunk 0
+        yield from pool.read_range(ChunkRange(10, 11))  # evicts chunk 1
+        result = yield from pool.read_range(ChunkRange(0, 1))
+        return result
+
+    p = env.process(reader(env))
+    result = drain(env, p)
+    assert result.hits == 1  # chunk 0 survived; chunk 1 was the victim
+    assert pool.evictions >= 1
+
+
+def test_pool_shrink_respects_floor(env):
+    manager, pool = make_pool(env, floor=3 * CHUNK_SIZE)
+    pool.warm(ChunkRange(0, 8))
+    freed = pool.shrink(100 * CHUNK_SIZE)
+    assert pool.size_bytes == 3 * CHUNK_SIZE
+    assert freed == 5 * CHUNK_SIZE
+
+
+def test_pool_shrink_ignores_floor_when_told(env):
+    manager, pool = make_pool(env, floor=3 * CHUNK_SIZE)
+    pool.warm(ChunkRange(0, 8))
+    pool.shrink(100 * CHUNK_SIZE, respect_floor=False)
+    assert pool.size_bytes == 0
+
+
+def test_pool_target_caps_growth(env):
+    manager, pool = make_pool(env)
+    pool.set_target(2 * CHUNK_SIZE)
+
+    def reader(env):
+        yield from pool.read_range(ChunkRange(0, 6))
+
+    env.process(reader(env))
+    env.run()
+    assert pool.size_bytes <= 2 * CHUNK_SIZE
+
+
+def test_pool_set_target_shrinks_immediately(env):
+    manager, pool = make_pool(env)
+    pool.warm(ChunkRange(0, 10))
+    pool.set_target(4 * CHUNK_SIZE)
+    assert pool.size_bytes <= 4 * CHUNK_SIZE
+
+
+def test_pool_scan_resistance_bypasses_huge_scans(env):
+    """A scan larger than half the attainable pool must not evict the
+    resident working set."""
+    manager, pool = make_pool(env, physical=8 * CHUNK_SIZE, floor=0)
+    pool.warm(ChunkRange(0, 3))
+    resident_before = pool.resident_chunks
+
+    def reader(env):
+        yield from pool.read_range(ChunkRange(100, 140))  # 40 chunks
+
+    env.process(reader(env))
+    env.run()
+    assert pool.resident_chunks == resident_before
+
+
+def test_pool_manager_reclaim_steals_pages(env):
+    manager, pool = make_pool(env, physical=10 * CHUNK_SIZE,
+                              floor=1 * CHUNK_SIZE)
+    pool.warm(ChunkRange(0, 10))
+    other = manager.clerk("compilation")
+    other.allocate(4 * CHUNK_SIZE)  # forces the pool to donate
+    assert pool.size_bytes <= 6 * CHUNK_SIZE
+    assert other.used == 4 * CHUNK_SIZE
+
+
+def test_pool_hit_rate(env):
+    manager, pool = make_pool(env)
+
+    def reader(env):
+        yield from pool.read_range(ChunkRange(0, 2))
+        yield from pool.read_range(ChunkRange(0, 2))
+
+    env.process(reader(env))
+    env.run()
+    assert pool.hit_rate() == pytest.approx(0.5)

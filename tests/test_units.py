@@ -1,0 +1,61 @@
+"""Tests for byte/time helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    GiB, KiB, MiB, PAGE_SIZE,
+    format_bytes, format_duration, parse_size,
+)
+
+
+def test_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert PAGE_SIZE == 8 * KiB
+
+
+@pytest.mark.parametrize("value,expected", [
+    (0, "0 B"),
+    (512, "512 B"),
+    (3 * MiB, "3.0 MiB"),
+    (4 * GiB, "4.0 GiB"),
+    (1536, "1.5 KiB"),
+    (-2 * MiB, "-2.0 MiB"),
+])
+def test_format_bytes(value, expected):
+    assert format_bytes(value) == expected
+
+
+@pytest.mark.parametrize("seconds,expected", [
+    (7200, "2.0 h"),
+    (90, "1.5 min"),
+    (45, "45.0 s"),
+    (0.25, "250 ms"),
+])
+def test_format_duration(seconds, expected):
+    assert format_duration(seconds) == expected
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("4GB", 4 * GiB),
+    ("4 GiB", 4 * GiB),
+    ("512mb", 512 * MiB),
+    ("1.5k", int(1.5 * KiB)),
+    ("123", 123),
+    ("100b", 100),
+])
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+def test_parse_size_rejects_empty_number():
+    with pytest.raises(ValueError):
+        parse_size("GB")
+
+
+@given(st.integers(min_value=0, max_value=10 * GiB))
+def test_format_bytes_always_has_unit_suffix(value):
+    out = format_bytes(value)
+    assert out.endswith(("B", "KiB", "MiB", "GiB", "TiB"))

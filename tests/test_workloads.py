@@ -1,0 +1,134 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.sql import Binder, parse
+from repro.units import GiB
+from repro.workload import (
+    OltpWorkload,
+    SalesWorkload,
+    TpchWorkload,
+)
+from repro.workload.base import adhoc_tag
+
+
+@pytest.fixture(scope="module")
+def sales():
+    return SalesWorkload()
+
+
+@pytest.fixture(scope="module")
+def sales_catalog(sales):
+    return sales.build_catalog()
+
+
+def test_sales_catalog_shape(sales_catalog):
+    tables = {t.name for t in sales_catalog.tables()}
+    assert "sales" in tables and "customers" in tables
+    assert len(tables) >= 20
+    # the paper's data mart is 524 GB; ours is the same order
+    assert 300 * GiB < sales_catalog.total_bytes < 700 * GiB
+    assert sales_catalog.table("sales").row_count == 400_000_000
+
+
+def test_sales_queries_parse_and_bind(sales, sales_catalog):
+    binder = Binder(sales_catalog)
+    rng = random.Random(1)
+    seen_templates = set()
+    for _ in range(40):
+        query = sales.generate(rng)
+        seen_templates.add(query.template)
+        bound = binder.bind(parse(query.text))
+        # heavy multi-join DSS queries (the paper's average is 15-20;
+        # the lightest template joins 7 tables around the fact)
+        assert 6 <= bound.join_count <= 20, query.template
+    assert len(seen_templates) >= 8
+
+
+def test_sales_join_counts_match_paper(sales, sales_catalog):
+    """The average query joins 15-20 tables (paper §5.1)."""
+    binder = Binder(sales_catalog)
+    rng = random.Random(2)
+    joins = []
+    for _ in range(50):
+        query = sales.generate(rng)
+        joins.append(binder.bind(parse(query.text)).join_count)
+    mean = sum(joins) / len(joins)
+    assert 10 <= mean <= 20
+    assert max(joins) >= 15
+
+
+def test_sales_uniquification_defeats_plan_cache(sales):
+    """Identical seeds aside, every generated text must be unique."""
+    rng = random.Random(3)
+    texts = {sales.generate(rng).text for _ in range(200)}
+    assert len(texts) == 200
+
+
+def test_sales_determinism(sales):
+    a = [sales.generate(random.Random(7)).text for _ in range(10)]
+    b = [sales.generate(random.Random(7)).text for _ in range(10)]
+    assert a == b
+
+
+def test_sales_scaled_catalog_shrinks():
+    small = SalesWorkload(scale=0.001)
+    catalog = small.build_catalog()
+    assert catalog.table("sales").row_count == 400_000
+    rng = random.Random(1)
+    binder = Binder(catalog)
+    binder.bind(parse(small.generate(rng).text))  # still binds
+
+
+def test_tpch_queries_parse_and_bind():
+    workload = TpchWorkload()
+    catalog = workload.build_catalog()
+    binder = Binder(catalog)
+    rng = random.Random(1)
+    join_counts = []
+    for _ in range(30):
+        query = workload.generate(rng)
+        bound = binder.bind(parse(query.text))
+        join_counts.append(bound.join_count)
+    # the paper: TPC-H queries contain between 0 and 8 joins
+    assert min(join_counts) == 0
+    assert max(join_counts) <= 8
+
+
+def test_tpch_repeats_shapes_for_plan_cache():
+    workload = TpchWorkload(adhoc=False)
+    rng = random.Random(1)
+    texts = [workload.generate(rng).text for _ in range(100)]
+    assert len(set(texts)) < 100  # literal collisions do happen
+
+
+def test_tpch_adhoc_mode_is_unique():
+    workload = TpchWorkload(adhoc=True)
+    rng = random.Random(1)
+    texts = [workload.generate(rng).text for _ in range(100)]
+    assert len(set(texts)) == 100
+
+
+def test_oltp_queries_are_small():
+    workload = OltpWorkload()
+    catalog = workload.build_catalog()
+    binder = Binder(catalog)
+    rng = random.Random(1)
+    for _ in range(20):
+        query = workload.generate(rng)
+        bound = binder.bind(parse(query.text))
+        assert bound.join_count <= 1
+
+
+def test_adhoc_tag_unique_and_comment_shaped():
+    rng = random.Random(1)
+    tags = {adhoc_tag(rng) for _ in range(100)}
+    assert len(tags) == 100
+    assert all(t.startswith("/*") and t.endswith("*/") for t in tags)
+
+
+def test_workload_scale_validation():
+    with pytest.raises(ValueError):
+        SalesWorkload(scale=0)
