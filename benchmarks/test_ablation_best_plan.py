@@ -11,8 +11,9 @@ from benchmarks.conftest import print_banner
 
 
 @pytest.fixture(scope="module")
-def ablation(preset, seed):
-    return ablate_best_plan(clients=40, preset=preset, seed=seed)
+def ablation(preset, seed, workers):
+    return ablate_best_plan(clients=40, preset=preset, seed=seed,
+                            workers=workers)
 
 
 def test_ablation_best_plan(benchmark, ablation):

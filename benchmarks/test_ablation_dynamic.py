@@ -12,8 +12,9 @@ from benchmarks.conftest import print_banner
 
 
 @pytest.fixture(scope="module")
-def ablation(preset, seed):
-    return ablate_dynamic_thresholds(clients=35, preset=preset, seed=seed)
+def ablation(preset, seed, workers):
+    return ablate_dynamic_thresholds(clients=35, preset=preset, seed=seed,
+                                     workers=workers)
 
 
 def test_ablation_dynamic_thresholds(benchmark, ablation):

@@ -13,8 +13,9 @@ from benchmarks.conftest import print_banner
 
 
 @pytest.fixture(scope="module")
-def ablation(preset, seed):
-    return ablate_gateway_count(clients=30, preset=preset, seed=seed)
+def ablation(preset, seed, workers):
+    return ablate_gateway_count(clients=30, preset=preset, seed=seed,
+                                workers=workers)
 
 
 def test_ablation_gateway_count(benchmark, ablation):

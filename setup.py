@@ -1,9 +1,10 @@
 """Legacy setup shim.
 
-The execution environment has setuptools but no ``wheel`` package, so
-PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
-This shim lets ``pip install -e . --no-use-pep517`` (and plain
-``pip install -e .`` on older pips) work offline.
+All real metadata lives in ``pyproject.toml``.  With network access a
+plain ``pip install -e .`` works (build isolation provides ``wheel``);
+in offline environments without the ``wheel`` package, PEP 660
+editable installs fail with ``invalid command 'bdist_wheel'`` and this
+shim keeps ``python setup.py develop`` working as a fallback.
 """
 
 from setuptools import setup

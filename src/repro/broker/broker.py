@@ -103,6 +103,41 @@ class MemoryBroker:
         compilations to decide a best-plan-so-far early cutoff."""
         return self.under_pressure
 
+    def advise_compile_grant(self, clerk, nbytes: int) -> bool:
+        """Soft-grant advisory installed on the compilation clerk.
+
+        While the projection fits, every grant passes — the system
+        behaves as if the broker was not there.  Under projected
+        pressure, a grant that would push total usage past the usable
+        limit (i.e. an imminent hard OOM) is declined *before* any
+        physical allocation or cache reclamation happens, which is the
+        handshake that lets the pipeline take its best plan so far
+        instead of pushing the machine into a real out-of-memory error.
+        Steering compilation toward its target share stays the job of
+        the dynamic gateway thresholds, not of grant denial.
+        """
+        if not self.config.enabled or not self.under_pressure:
+            return True
+        return nbytes <= self.manager.available + self.reclaimable_bytes()
+
+    def reclaimable_bytes(self) -> int:
+        """Cache memory the manager could still take back: the plan
+        cache entirely, the buffer pool down to its floor — rounded to
+        whole eviction chunks, because :meth:`BufferPool.shrink` stops
+        before an eviction would cross the floor."""
+        from repro.storage.pagemap import CHUNK_SIZE
+
+        usage = self.manager.usage_by_clerk()
+        floor = int(self.manager.physical_memory
+                    * self.config.buffer_pool_floor_fraction)
+        out = 0
+        for name in self.CACHE_CLERKS:
+            used = usage.get(name, 0)
+            if name == "buffer_pool":
+                used = max(0, used - floor) // CHUNK_SIZE * CHUNK_SIZE
+            out += used
+        return out
+
     # -- the periodic sweep ---------------------------------------------------
     def _run(self):
         interval = self.config.interval / self._time_scale

@@ -2,17 +2,20 @@
 
 Commands
 --------
-``figure``     reproduce one of the paper's figures (1, 2, 3, 4, 5)
-``sweep``      client sweep (the CLAIM-SAT saturation experiment)
-``ablation``   run one of the design ablations
-``query``      compile + execute one ad-hoc query and print the report
-``monitors``   print the memory-monitor ladder
+``figure``       reproduce one of the paper's figures (1, 2, 3, 4, 5)
+``sweep``        client sweep (the CLAIM-SAT saturation experiment)
+``ablation``     run one of the design ablations
+``experiments``  fan a whole suite out across workers and write
+                 ``BENCH_*.json`` artifacts
+``query``        compile + execute one ad-hoc query and print the report
+``monitors``     print the memory-monitor ladder
 
 Examples
 --------
 ::
 
     python -m repro figure 3 --preset smoke
+    python -m repro experiments --suite figures --workers 4 --out bench
     python -m repro query --workload sales --seed 7
     python -m repro ablation gateways --clients 30
 """
@@ -26,10 +29,8 @@ from typing import List, Optional
 
 from repro.config import paper_server_config
 from repro.experiments import (
-    ExperimentConfig,
     figure1_monitors,
     figure2_trace,
-    run_experiment,
     throughput_figure,
 )
 from repro.experiments.ablations import (
@@ -47,6 +48,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--preset", default="smoke", choices=sorted(PRESETS),
                         help="fidelity/runtime preset")
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for experiment fan-out")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     abl.add_argument("--clients", type=int, default=30)
     _add_common(abl)
 
+    exp = sub.add_parser(
+        "experiments",
+        help="run a whole suite through the parallel engine and write "
+             "BENCH_*.json artifacts")
+    exp.add_argument("--suite", default="figures",
+                     choices=("figures", "ablations", "saturation", "all"))
+    exp.add_argument("--out", default="bench-artifacts",
+                     help="directory for BENCH_*.json artifacts")
+    _add_common(exp)
+
     query = sub.add_parser("query", help="run one ad-hoc query")
     query.add_argument("--workload", default="sales",
                        choices=("sales", "tpch", "oltp"))
@@ -89,21 +102,27 @@ def cmd_figure(args) -> int:
         return 0
     clients = {3: 30, 4: 35, 5: 40}[args.number]
     comparison = throughput_figure(clients, preset=args.preset,
-                                   seed=args.seed)
+                                   seed=args.seed, workers=args.workers)
     print(comparison.render())
     return 0
 
 
 def cmd_sweep(args) -> int:
-    workload = make_workload("sales")
-    rows = []
-    for clients in args.clients:
-        result = run_experiment(ExperimentConfig(
-            workload="sales", clients=clients, throttling=True,
-            preset=args.preset, seed=args.seed), workload=workload)
-        rows.append((clients, result.completed, result.failed))
+    from repro.experiments.engine import run_jobs, saturation_suite_jobs
+
+    # duplicate counts would be identical runs (same config, same
+    # seed) and would collide as job names; keep first occurrences
+    client_counts = list(dict.fromkeys(args.clients))
+    jobs = saturation_suite_jobs(preset=args.preset, seed=args.seed,
+                                 clients=client_counts)
+    batch = run_jobs(jobs, workers=args.workers)
+    rows = [(clients, result.completed, result.failed)
+            for clients, result in zip(client_counts, batch.ordered)
+            if result is not None]
     print(render_table(("clients", "completed", "errors"), rows))
-    return 0
+    for name, error in batch.errors.items():
+        print(f"FAILED {name}: {error}")
+    return 1 if batch.errors else 0
 
 
 def cmd_ablation(args) -> int:
@@ -113,12 +132,54 @@ def cmd_ablation(args) -> int:
         "best-plan": ablate_best_plan,
     }
     ablation = runners[args.which](clients=args.clients,
-                                   preset=args.preset, seed=args.seed)
+                                   preset=args.preset, seed=args.seed,
+                                   workers=args.workers)
     rows = [(label, r.completed, r.failed, r.degraded)
             for label, r in ablation.results.items()]
     print(render_table(("variant", "completed", "errors", "degraded"),
                        rows))
     return 0
+
+
+def cmd_experiments(args) -> int:
+    """Fan out a suite, print a summary, write BENCH artifacts."""
+    from repro.experiments.ablations import ablation_suite_jobs
+    from repro.experiments.engine import (
+        figure_suite_jobs,
+        run_jobs,
+        saturation_suite_jobs,
+        write_artifact,
+    )
+
+    suites = {}
+    if args.suite in ("figures", "all"):
+        suites["figures"] = figure_suite_jobs(preset=args.preset,
+                                              seed=args.seed)
+    if args.suite in ("ablations", "all"):
+        suites["ablations"] = ablation_suite_jobs(preset=args.preset,
+                                                  seed=args.seed)
+    if args.suite in ("saturation", "all"):
+        suites["saturation"] = saturation_suite_jobs(preset=args.preset,
+                                                     seed=args.seed)
+
+    failed = False
+    for suite_name, jobs in suites.items():
+        print(f"== suite {suite_name}: {len(jobs)} runs, "
+              f"workers={args.workers}, preset={args.preset}")
+        batch = run_jobs(jobs, workers=args.workers,
+                         progress=lambda line: print(f"   {line}"))
+        path = write_artifact(args.out, suite_name, batch)
+        rows = [(name, r.completed, r.failed, r.degraded,
+                 f"{r.wall_seconds:.1f}s")
+                for name, r in batch.results.items()]
+        print(render_table(
+            ("run", "completed", "errors", "degraded", "wall"), rows))
+        print(f"   wall {batch.wall_seconds:.1f}s -> {path}")
+        if batch.errors:
+            failed = True
+            for name, error in batch.errors.items():
+                print(f"   FAILED {name}: {error}")
+    return 1 if failed else 0
 
 
 def cmd_query(args) -> int:
@@ -153,6 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "sweep": cmd_sweep,
         "ablation": cmd_ablation,
+        "experiments": cmd_experiments,
         "query": cmd_query,
         "monitors": cmd_monitors,
     }

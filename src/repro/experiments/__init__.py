@@ -13,6 +13,15 @@ from repro.experiments.runner import (
     PRESETS,
     run_experiment,
 )
+from repro.experiments.engine import (
+    BatchResult,
+    ExperimentEngine,
+    ExperimentJob,
+    figure_suite_jobs,
+    run_jobs,
+    saturation_suite_jobs,
+    write_artifact,
+)
 from repro.experiments.figures import (
     ThroughputComparison,
     figure1_monitors,
@@ -21,12 +30,19 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "BatchResult",
     "ExperimentConfig",
+    "ExperimentEngine",
+    "ExperimentJob",
     "ExperimentResult",
     "PRESETS",
     "ThroughputComparison",
     "figure1_monitors",
     "figure2_trace",
+    "figure_suite_jobs",
     "run_experiment",
+    "run_jobs",
+    "saturation_suite_jobs",
     "throughput_figure",
+    "write_artifact",
 ]

@@ -19,12 +19,8 @@ from repro.config import (
     default_gateways,
     paper_server_config,
 )
-from repro.experiments.runner import (
-    ExperimentConfig,
-    ExperimentResult,
-    make_workload,
-    run_experiment,
-)
+from repro.experiments.engine import ExperimentJob, run_jobs
+from repro.experiments.runner import ExperimentConfig, ExperimentResult
 from repro.units import MiB
 
 
@@ -71,45 +67,97 @@ class AblationResult:
         return {label: r.failed for label, r in self.results.items()}
 
 
-def _run_variants(name: str, variants: Dict[str, ServerConfig],
-                  clients: int, preset: str, seed: int,
-                  workload_name: str = "sales") -> AblationResult:
-    workload = make_workload(workload_name)
-    results: Dict[str, ExperimentResult] = {}
-    for label, server_config in variants.items():
-        config = ExperimentConfig(
+def jobs_from_variants(variants: Dict[str, ServerConfig], clients: int,
+                       preset: str, seed: int,
+                       workload_name: str = "sales",
+                       prefix: str = "") -> List[ExperimentJob]:
+    """One :class:`ExperimentJob` per server-config variant — the
+    single mapping used by both the ablate_* entry points and the
+    engine's flat suite, so they can never run different configs."""
+    return [ExperimentJob(
+        name=f"{prefix}{label}",
+        config=ExperimentConfig(
             workload=workload_name, clients=clients,
             throttling=server_config.throttle.enabled, preset=preset,
-            seed=seed, server_overrides=server_config)
-        results[label] = run_experiment(config, workload=workload)
+            seed=seed, server_overrides=server_config))
+        for label, server_config in variants.items()]
+
+
+def _run_variants(name: str, variants: Dict[str, ServerConfig],
+                  clients: int, preset: str, seed: int,
+                  workload_name: str = "sales",
+                  workers: int = 1) -> AblationResult:
+    """Run every variant through the experiment engine.
+
+    With ``workers > 1`` the variants fan out across processes; the
+    result dict always preserves the variant declaration order.
+    """
+    jobs = jobs_from_variants(variants, clients, preset, seed,
+                              workload_name=workload_name)
+    batch = run_jobs(jobs, workers=workers)
+    if batch.errors:
+        failures = ", ".join(f"{k}: {v}" for k, v in batch.errors.items())
+        raise RuntimeError(f"ablation {name!r} had failing runs: {failures}")
+    results = {label: batch.results[label] for label in variants}
     return AblationResult(name=name, results=results)
 
 
-def ablate_gateway_count(clients: int = 30, preset: str = "smoke",
-                         seed: int = 1) -> AblationResult:
-    """ABL-GATES: 0, 1, 2 and 3 monitors."""
-    variants = {f"{n}_monitors": config_with_gateways(n)
-                for n in (0, 1, 2, 3)}
-    return _run_variants("gateway_count", variants, clients, preset, seed)
+def gateway_variants() -> Dict[str, ServerConfig]:
+    return {f"{n}_monitors": config_with_gateways(n) for n in (0, 1, 2, 3)}
 
 
-def ablate_dynamic_thresholds(clients: int = 35, preset: str = "smoke",
-                              seed: int = 1) -> AblationResult:
-    """ABL-DYN: static vs broker-driven thresholds."""
-    variants = {
+def dynamic_variants() -> Dict[str, ServerConfig]:
+    return {
         "static": config_with_dynamic(False),
         "dynamic": config_with_dynamic(True),
     }
-    return _run_variants("dynamic_thresholds", variants, clients, preset,
-                         seed)
 
 
-def ablate_best_plan(clients: int = 40, preset: str = "smoke",
-                     seed: int = 1) -> AblationResult:
-    """ABL-BPSF: best-plan-so-far on/off."""
-    variants = {
+def best_plan_variants() -> Dict[str, ServerConfig]:
+    return {
         "hard_oom": config_with_best_plan(False),
         "best_plan": config_with_best_plan(True),
     }
-    return _run_variants("best_plan_so_far", variants, clients, preset,
-                         seed)
+
+
+#: every ablation: (suite prefix, default clients, variant factory) —
+#: the single source for both the ablate_* entry points and the
+#: engine's flat suite, so the two can never drift apart
+ABLATIONS = (
+    ("gates", 30, gateway_variants),
+    ("dyn", 35, dynamic_variants),
+    ("bpsf", 40, best_plan_variants),
+)
+
+
+def ablate_gateway_count(clients: int = 30, preset: str = "smoke",
+                         seed: int = 1, workers: int = 1) -> AblationResult:
+    """ABL-GATES: 0, 1, 2 and 3 monitors."""
+    return _run_variants("gateway_count", gateway_variants(), clients,
+                         preset, seed, workers=workers)
+
+
+def ablate_dynamic_thresholds(clients: int = 35, preset: str = "smoke",
+                              seed: int = 1,
+                              workers: int = 1) -> AblationResult:
+    """ABL-DYN: static vs broker-driven thresholds."""
+    return _run_variants("dynamic_thresholds", dynamic_variants(), clients,
+                         preset, seed, workers=workers)
+
+
+def ablate_best_plan(clients: int = 40, preset: str = "smoke",
+                     seed: int = 1, workers: int = 1) -> AblationResult:
+    """ABL-BPSF: best-plan-so-far on/off."""
+    return _run_variants("best_plan_so_far", best_plan_variants(), clients,
+                         preset, seed, workers=workers)
+
+
+def ablation_suite_jobs(preset: str = "smoke",
+                        seed: int = 1) -> list:
+    """Every ablation variant as one flat engine batch."""
+    jobs = []
+    for prefix, clients, variant_factory in ABLATIONS:
+        jobs.extend(jobs_from_variants(
+            variant_factory(), clients, preset, seed,
+            prefix=f"{prefix}_"))
+    return jobs

@@ -1,0 +1,243 @@
+"""The parallel experiment engine.
+
+One :class:`ExperimentJob` names one :class:`ExperimentConfig`; the
+engine fans a batch of jobs out across worker processes, aggregates
+their :class:`ExperimentResult`\\ s deterministically (by job order —
+each job carries its own seed, so the output is reproducible regardless
+of scheduling), accounts for per-job failures without killing the
+batch, and writes ``BENCH_*.json`` artifacts that CI uploads and the
+bench trajectory consumes.
+
+Workers rebuild their workload from the config by name, so nothing but
+plain dataclasses crosses the process boundary.  ``workers <= 1`` runs
+the batch serially in-process, which is also the fallback when
+multiprocessing is unavailable (restricted environments).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+#: artifact schema version — bump when the JSON layout changes
+ARTIFACT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One named unit of work for the engine."""
+
+    name: str
+    config: ExperimentConfig
+
+
+@dataclass
+class BatchResult:
+    """Everything one engine run produced.
+
+    ``results`` maps job name -> result for jobs that finished;
+    ``errors`` maps job name -> formatted exception for jobs that did
+    not.  ``ordered`` preserves submission order (with ``None`` holes
+    for failed jobs) so positional consumers stay deterministic.
+    """
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+    ordered: List[Optional[ExperimentResult]] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _run_job(payload: Tuple[int, str, ExperimentConfig]):
+    """Worker entry point: run one experiment, never raise."""
+    index, name, config = payload
+    try:
+        return index, name, run_experiment(config), None
+    except Exception as exc:  # noqa: BLE001 - error accounting, not control flow
+        return index, name, None, f"{type(exc).__name__}: {exc}"
+
+
+class ExperimentEngine:
+    """Runs experiment batches, serially or across processes."""
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+
+    def run(self, jobs: Sequence[ExperimentJob],
+            progress: Optional[Callable[[str], None]] = None) -> BatchResult:
+        """Execute ``jobs``; aggregation order == submission order."""
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names in batch: {names}")
+        started = time.time()
+        payloads = [(i, job.name, job.config)
+                    for i, job in enumerate(jobs)]
+        workers = min(self.workers, len(payloads)) or 1
+        if workers > 1:
+            outcomes = self._run_pool(payloads, workers, progress)
+        else:
+            outcomes = []
+            for payload in payloads:
+                outcome = _run_job(payload)
+                self._note(progress, outcome)
+                outcomes.append(outcome)
+
+        batch = BatchResult(workers=workers)
+        batch.ordered = [None] * len(payloads)
+        # sort by submission index: with per-job seeds this makes the
+        # aggregate independent of worker scheduling
+        for index, name, result, error in sorted(outcomes):
+            if error is not None:
+                batch.errors[name] = error
+            else:
+                batch.results[name] = result
+                batch.ordered[index] = result
+        batch.wall_seconds = time.time() - started
+        return batch
+
+    def _run_pool(self, payloads, workers: int,
+                  progress) -> List[tuple]:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context("spawn")
+        outcomes = []
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                for outcome in pool.imap_unordered(_run_job, payloads):
+                    self._note(progress, outcome)
+                    outcomes.append(outcome)
+        except (OSError, PermissionError):  # pragma: no cover - sandboxed
+            # no process spawning allowed: degrade to the serial path
+            done = {o[0] for o in outcomes}
+            for payload in payloads:
+                if payload[0] not in done:
+                    outcome = _run_job(payload)
+                    self._note(progress, outcome)
+                    outcomes.append(outcome)
+        return outcomes
+
+    @staticmethod
+    def _note(progress, outcome) -> None:
+        if progress is None:
+            return
+        _, name, result, error = outcome
+        if error is not None:
+            progress(f"{name}: FAILED ({error})")
+        else:
+            progress(f"{name}: completed={result.completed} "
+                     f"failed={result.failed} "
+                     f"wall={result.wall_seconds:.1f}s")
+
+
+def run_jobs(jobs: Sequence[ExperimentJob], workers: int = 1,
+             progress: Optional[Callable[[str], None]] = None) -> BatchResult:
+    """Convenience wrapper: one engine, one batch."""
+    return ExperimentEngine(workers=workers).run(jobs, progress=progress)
+
+
+# ------------------------------------------------------------- artifacts
+def summarize_result(result: ExperimentResult) -> dict:
+    """The JSON-ready summary of one run (stable key order)."""
+    config = result.config
+    return {
+        "config": {
+            "workload": config.workload,
+            "clients": config.clients,
+            "throttling": config.throttling,
+            "preset": config.preset,
+            "seed": config.seed,
+            "think_time": config.think_time,
+        },
+        "completed": result.completed,
+        "failed": result.failed,
+        "error_counts": dict(sorted(result.error_counts.items())),
+        "degraded": result.degraded,
+        "retries": result.retries,
+        "mean_per_bucket": result.mean_per_bucket,
+        "mean_compile_time": result.mean_compile_time,
+        "mean_execution_time": result.mean_execution_time,
+        "memory_by_clerk": dict(sorted(result.memory_by_clerk.items())),
+        "gateway_stats": [list(row) for row in result.gateway_stats],
+        "throughput": [[t, c] for t, c in result.throughput],
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def write_bench_document(out_dir: str, name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` with the standard envelope.
+
+    Every artifact (engine batches, the benchmark session summary)
+    goes through here so the schema version, filename convention and
+    serialization stay uniform for CI consumers.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    doc = {
+        "schema": ARTIFACT_SCHEMA,
+        "name": name,
+        "python": platform.python_version(),
+    }
+    doc.update(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def write_artifact(out_dir: str, name: str, batch: BatchResult) -> str:
+    """Write one batch's ``BENCH_<name>.json``; returns the path.
+
+    The artifact is deterministic apart from the wall-clock fields, so
+    diffs between CI runs surface real behaviour changes.
+    """
+    return write_bench_document(out_dir, name, {
+        "workers": batch.workers,
+        "wall_seconds": batch.wall_seconds,
+        "errors": dict(sorted(batch.errors.items())),
+        "results": {job_name: summarize_result(result)
+                    for job_name, result in batch.results.items()},
+    })
+
+
+# ------------------------------------------------------------- suites
+def figure_suite_jobs(preset: str = "smoke", seed: int = 3,
+                      workload: str = "sales") -> List[ExperimentJob]:
+    """The six runs behind Figures 3/4/5 (30/35/40 clients, throttled
+    and un-throttled)."""
+    jobs = []
+    for clients in (30, 35, 40):
+        for throttling in (True, False):
+            mode = "throttled" if throttling else "unthrottled"
+            jobs.append(ExperimentJob(
+                name=f"fig_{clients}c_{mode}",
+                config=ExperimentConfig(
+                    workload=workload, clients=clients,
+                    throttling=throttling, preset=preset, seed=seed)))
+    return jobs
+
+
+def saturation_suite_jobs(preset: str = "smoke", seed: int = 3,
+                          clients: Sequence[int] = (5, 15, 30, 40),
+                          workload: str = "sales") -> List[ExperimentJob]:
+    """The CLAIM-SAT client sweep."""
+    return [ExperimentJob(
+        name=f"sat_{c}c",
+        config=ExperimentConfig(workload=workload, clients=c,
+                                throttling=True, preset=preset, seed=seed))
+        for c in clients]

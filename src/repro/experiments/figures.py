@@ -18,8 +18,6 @@ from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentResult,
     PRESETS,
-    make_workload,
-    run_experiment,
 )
 from repro.metrics.report import ascii_chart, render_table
 from repro.server.server import DatabaseServer
@@ -170,14 +168,25 @@ class ThroughputComparison:
 
 def throughput_figure(clients: int, preset: str = "scaled",
                       seed: int = 1,
-                      workload_name: str = "sales") -> ThroughputComparison:
-    """Reproduce one of Figures 3/4/5 (clients = 30/35/40)."""
-    workload = make_workload(workload_name)
-    throttled = run_experiment(ExperimentConfig(
-        workload=workload_name, clients=clients, throttling=True,
-        preset=preset, seed=seed), workload=workload)
-    unthrottled = run_experiment(ExperimentConfig(
-        workload=workload_name, clients=clients, throttling=False,
-        preset=preset, seed=seed), workload=workload)
-    return ThroughputComparison(clients=clients, throttled=throttled,
-                                unthrottled=unthrottled)
+                      workload_name: str = "sales",
+                      workers: int = 1) -> ThroughputComparison:
+    """Reproduce one of Figures 3/4/5 (clients = 30/35/40).
+
+    ``workers=2`` runs the throttled/un-throttled pair concurrently.
+    """
+    from repro.experiments.engine import ExperimentJob, run_jobs
+
+    jobs = [ExperimentJob(
+        name=mode,
+        config=ExperimentConfig(
+            workload=workload_name, clients=clients,
+            throttling=throttling, preset=preset, seed=seed))
+        for mode, throttling in (("throttled", True),
+                                 ("unthrottled", False))]
+    batch = run_jobs(jobs, workers=workers)
+    if batch.errors:
+        failures = ", ".join(f"{k}: {v}" for k, v in batch.errors.items())
+        raise RuntimeError(f"throughput figure runs failed: {failures}")
+    return ThroughputComparison(clients=clients,
+                                throttled=batch.results["throttled"],
+                                unthrottled=batch.results["unthrottled"])

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.errors import AccountClosedError
-from repro.memory.clerk import MemoryClerk
+from repro.memory.clerk import GrantOutcome, MemoryClerk
 
 #: observer invoked *after* a successful allocation with the account
 AllocationHook = Callable[["MemoryAccount", int], None]
@@ -43,17 +43,34 @@ class MemoryAccount:
         """Register an observer called after each successful allocation."""
         self._hooks.append(hook)
 
-    def allocate(self, nbytes: int) -> None:
-        """Charge ``nbytes`` to this task (may raise OutOfMemoryError)."""
-        if self._closed:
-            raise AccountClosedError(f"account {self.label!r} is closed")
-        self.clerk.allocate(nbytes)
+    def _commit(self, nbytes: int) -> None:
+        """Shared success-path bookkeeping for allocate/request."""
         self._used += nbytes
         self.total_allocated += nbytes
         if self._used > self.peak:
             self.peak = self._used
         for hook in self._hooks:
             hook(self, nbytes)
+
+    def allocate(self, nbytes: int) -> None:
+        """Charge ``nbytes`` to this task (may raise OutOfMemoryError)."""
+        if self._closed:
+            raise AccountClosedError(f"account {self.label!r} is closed")
+        self.clerk.allocate(nbytes)
+        self._commit(nbytes)
+
+    def request(self, nbytes: int, soft: bool = True) -> GrantOutcome:
+        """Negotiated allocation (see :meth:`MemoryClerk.request_grant`).
+
+        On a denial nothing is charged and no exception is raised; the
+        caller decides whether to degrade, wait, or fail.
+        """
+        if self._closed:
+            raise AccountClosedError(f"account {self.label!r} is closed")
+        outcome = self.clerk.request_grant(nbytes, soft=soft)
+        if outcome is GrantOutcome.GRANTED:
+            self._commit(nbytes)
+        return outcome
 
     def free(self, nbytes: int) -> None:
         """Return part of this task's memory."""

@@ -7,12 +7,32 @@ Memory Broker always know *who* owns every byte.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, OutOfMemoryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.memory.manager import MemoryManager
+
+
+class GrantOutcome(Enum):
+    """Result of a negotiated (broker-advised) allocation request."""
+
+    #: the bytes were allocated
+    GRANTED = "granted"
+    #: the broker declined the grant before any allocation was tried;
+    #: nothing was allocated and no error was raised — the caller is
+    #: expected to degrade gracefully (best-plan-so-far)
+    DENIED_SOFT = "denied_soft"
+    #: physical memory (after cache reclamation) could not cover the
+    #: request; nothing was allocated
+    DENIED_HARD = "denied_hard"
+
+
+#: advisory callback consulted before a soft allocation: return False
+#: to deny the grant without touching physical memory
+GrantAdvisor = Callable[["MemoryClerk", int], bool]
 
 
 class MemoryClerk:
@@ -26,6 +46,15 @@ class MemoryClerk:
         self.total_allocated = 0
         #: high-water mark of concurrent usage
         self.peak = 0
+        #: broker-installed advisor consulted by :meth:`request_grant`
+        self.advisor: Optional[GrantAdvisor] = None
+        #: grants the advisor declined (diagnostics)
+        self.soft_denials = 0
+        #: grants that hit physical OOM (diagnostics)
+        self.hard_denials = 0
+        #: the OutOfMemoryError behind the most recent hard denial, so
+        #: callers of the no-raise grant path can still chain/report it
+        self.last_oom: Optional[OutOfMemoryError] = None
 
     @property
     def used(self) -> int:
@@ -40,6 +69,29 @@ class MemoryClerk:
         self.total_allocated += nbytes
         if self._used > self.peak:
             self.peak = self._used
+
+    def request_grant(self, nbytes: int, soft: bool = True) -> GrantOutcome:
+        """Negotiated allocation: consult the broker, then allocate.
+
+        With ``soft`` set, the clerk's advisor (the Memory Broker) is
+        asked first; a denial returns :data:`GrantOutcome.DENIED_SOFT`
+        without touching physical memory.  A request that passes the
+        advisor but cannot be covered even after cache reclamation
+        returns :data:`GrantOutcome.DENIED_HARD` instead of raising, so
+        callers can fall back (e.g. to the best plan so far) without
+        exception plumbing.
+        """
+        if soft and self.advisor is not None \
+                and not self.advisor(self, nbytes):
+            self.soft_denials += 1
+            return GrantOutcome.DENIED_SOFT
+        try:
+            self.allocate(nbytes)
+        except OutOfMemoryError as exc:
+            self.hard_denials += 1
+            self.last_oom = exc
+            return GrantOutcome.DENIED_HARD
+        return GrantOutcome.GRANTED
 
     def try_allocate(self, nbytes: int) -> bool:
         """Take ``nbytes`` only if free memory covers it (no reclaim)."""

@@ -121,6 +121,13 @@ class OptimizationTask:
         self.result: Optional[OptimizationResult] = None
         self._ctx = RuleContext(self.memo)
         self._alias_tables = dict(bound.aliases)
+        #: join condition -> selectivity (conditions are immutable and
+        #: shared across the memo, so this is hit constantly)
+        self._join_sel_cache: Dict[Optional[ex.Expr], float] = {}
+        #: id(gexpr) -> cached equi-join key split (stable per gexpr)
+        self._join_split_cache: Dict[int, tuple] = {}
+        #: id(gexpr) -> cached clustered-scan window (stable per gexpr)
+        self._scan_window_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ API
     def steps(self) -> Iterator[OptStep]:
@@ -164,6 +171,10 @@ class OptimizationTask:
         assert self._best is not None
         self.result = self._best
         return
+
+    def has_best_plan(self) -> bool:
+        """Cheap probe for :meth:`best_plan_so_far` (no construction)."""
+        return self._best is not None
 
     def best_plan_so_far(self) -> Optional[OptimizationResult]:
         """The best complete plan found so far, flagged as degraded.
@@ -237,8 +248,8 @@ class OptimizationTask:
                      created: Optional[List[GroupExpression]] = None) -> int:
         if isinstance(node, GroupRef):
             return node.group
-        child_ids = tuple(self._insert_tree(child, None, created)
-                          for child in node.children)
+        child_ids = tuple([self._insert_tree(child, None, created)
+                           for child in node.children])
         gexpr, was_created = self.memo.insert_expression(
             node, child_ids, target_group)
         if was_created and created is not None:
@@ -249,9 +260,10 @@ class OptimizationTask:
 
     # -------------------------------------------------------------- statistics
     def _ensure_stats(self, gid: int) -> GroupStats:
-        group = self.memo.group(gid)
-        if group.stats is not None:
-            return group.stats
+        group = self.memo.groups[gid]
+        stats = group.stats
+        if stats is not None:
+            return stats
         gexpr = group.expressions[0]
         child_stats = [self._ensure_stats(c) for c in gexpr.children]
         group.stats = self._derive_stats(gexpr.node, child_stats)
@@ -268,7 +280,11 @@ class OptimizationTask:
                               aliases=frozenset({node.alias}))
         if isinstance(node, lg.LogicalJoin):
             left, right = child_stats
-            sel = est.join_selectivity(node.condition, self._alias_tables)
+            sel = self._join_sel_cache.get(node.condition)
+            if sel is None:
+                sel = est.join_selectivity(node.condition,
+                                           self._alias_tables)
+                self._join_sel_cache[node.condition] = sel
             rows = max(1.0, left.rows * right.rows * sel)
             return GroupStats(rows=rows, width=left.width + right.width,
                               aliases=left.aliases | right.aliases)
@@ -303,7 +319,7 @@ class OptimizationTask:
         for group in self.memo.groups:
             group.best_cost = None
         self._plan_cache: Dict[int, Tuple[float, ph.PhysicalNode]] = {}
-        cost, plan = self._best_plan(root_gid, frozenset())
+        cost, plan = self._best_plan(root_gid, set())
         if plan is None:
             raise SimulationError("no physical plan produced")
         result = OptimizationResult(
@@ -319,46 +335,72 @@ class OptimizationTask:
                 work_units=self._work_units, stage=stage)
 
     def _best_plan(self, gid: int,
-                   visiting: FrozenSet[int]
+                   visiting: set
                    ) -> Tuple[float, Optional[ph.PhysicalNode]]:
+        # ``visiting`` is one mutable set shared down the recursion
+        # (add/discard instead of building a frozenset per group)
         cached = self._plan_cache.get(gid)
         if cached is not None:
             return cached
         if gid in visiting:
             return math.inf, None
         group = self.memo.group(gid)
-        visiting = visiting | {gid}
-        best: Tuple[float, Optional[ph.PhysicalNode]] = (math.inf, None)
-        for gexpr in group.expressions:
-            for candidate in self._implement_gexpr(gexpr, visiting):
-                if candidate[0] < best[0]:
-                    best = candidate
-        if best[1] is not None:
-            self._plan_cache[gid] = best
-            group.best_cost = best[0]
+        visiting.add(gid)
+        best_cost = math.inf
+        best_build = None
+        try:
+            for gexpr in group.expressions:
+                for cost, build in self._implement_gexpr(gexpr, visiting):
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_build = build
+        finally:
+            visiting.discard(gid)
+        if best_build is None:
+            return math.inf, None
+        # candidates are costed as scalars; only the group winner is
+        # materialized into physical nodes (losers were ~2/3 of all
+        # node construction across the three implementation passes)
+        best = (best_cost, best_build())
+        self._plan_cache[gid] = best
+        group.best_cost = best_cost
         return best
 
     def _implement_gexpr(self, gexpr: GroupExpression,
-                         visiting: FrozenSet[int]
-                         ) -> List[Tuple[float, ph.PhysicalNode]]:
+                         visiting: set) -> List[tuple]:
+        """Candidate implementations as ``(cost, build)`` pairs.
+
+        ``build`` is a zero-argument callable producing the physical
+        node; candidate order is stable so cost ties keep resolving to
+        the first candidate, exactly as when nodes were built eagerly.
+        """
         node = gexpr.node
         stats = self.memo.group(gexpr.group_id).stats
         assert stats is not None
         cm = self.opt.cost_model
         est = self.opt.estimator
-        out: List[Tuple[float, ph.PhysicalNode]] = []
+        out: List[tuple] = []
 
         if isinstance(node, lg.LogicalGet):
+            window = self._scan_window_cache.get(id(gexpr))
+            if window is None:
+                window = est.clustered_scan_window(
+                    node.table, node.predicate)
+                self._scan_window_cache[id(gexpr)] = window
+            offset, length = window
             table = self.opt.catalog.table(node.table)
-            offset, length = est.clustered_scan_window(
-                node.table, node.predicate)
             cost = cm.scan_cost(table.nbytes, length, stats.rows)
-            scan = ph.TableScan(node.alias, node.table, node.predicate)
-            scan.scan_fraction = length
-            scan.scan_offset = offset
-            scan.estimates = ph.Estimates(
-                rows=stats.rows, bytes=stats.bytes, memory=0.0, cost=cost)
-            out.append((cost, scan))
+
+            def build_scan(cost=cost, offset=offset, length=length):
+                scan = ph.TableScan(node.alias, node.table, node.predicate)
+                scan.scan_fraction = length
+                scan.scan_offset = offset
+                scan.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                    cost=cost)
+                return scan
+
+            out.append((cost, build_scan))
             return out
 
         if isinstance(node, lg.LogicalJoin):
@@ -368,8 +410,12 @@ class OptimizationTask:
                 return out
             lstats = self.memo.group(gexpr.children[0]).stats
             rstats = self.memo.group(gexpr.children[1]).stats
-            build_keys, probe_keys, residual = _split_join_keys(
-                node.condition, lstats.aliases, rstats.aliases)
+            split = self._join_split_cache.get(id(gexpr))
+            if split is None:
+                split = _split_join_keys(
+                    node.condition, lstats.aliases, rstats.aliases)
+                self._join_split_cache[id(gexpr)] = split
+            build_keys, probe_keys, residual = split
             if build_keys:
                 # hash join, both build orders; the memory term biases
                 # the choice toward building on the smaller input
@@ -385,20 +431,31 @@ class OptimizationTask:
                                                 probe_stats.rows,
                                                 stats.rows)
                             + cm.memory_pressure_cost(memory))
-                    hj = ph.HashJoin(build_plan, probe_plan, bkeys, pkeys,
-                                     residual)
-                    hj.estimates = ph.Estimates(
-                        rows=stats.rows, bytes=stats.bytes,
-                        memory=memory, cost=cost)
-                    out.append((cost, hj))
+
+                    def build_hj(cost=cost, memory=memory,
+                                 build_plan=build_plan,
+                                 probe_plan=probe_plan,
+                                 bkeys=bkeys, pkeys=pkeys):
+                        hj = ph.HashJoin(build_plan, probe_plan,
+                                         bkeys, pkeys, residual)
+                        hj.estimates = ph.Estimates(
+                            rows=stats.rows, bytes=stats.bytes,
+                            memory=memory, cost=cost)
+                        return hj
+
+                    out.append((cost, build_hj))
             else:
                 cost = (lcost + rcost + cm.nl_join_cost(
                     lstats.rows, rstats.rows, stats.rows))
-                nl = ph.NestedLoopsJoin(lplan, rplan, node.condition)
-                nl.estimates = ph.Estimates(
-                    rows=stats.rows, bytes=stats.bytes,
-                    memory=min(lstats.bytes, 64 * MiB), cost=cost)
-                out.append((cost, nl))
+
+                def build_nl(cost=cost):
+                    nl = ph.NestedLoopsJoin(lplan, rplan, node.condition)
+                    nl.estimates = ph.Estimates(
+                        rows=stats.rows, bytes=stats.bytes,
+                        memory=min(lstats.bytes, 64 * MiB), cost=cost)
+                    return nl
+
+                out.append((cost, build_nl))
             return out
 
         if isinstance(node, lg.LogicalFilter):
@@ -407,10 +464,15 @@ class OptimizationTask:
                 return out
             cstats = self.memo.group(gexpr.children[0]).stats
             cost = ccost + cm.filter_cost(cstats.rows)
-            flt = ph.Filter(cplan, node.predicate)
-            flt.estimates = ph.Estimates(
-                rows=stats.rows, bytes=stats.bytes, memory=0.0, cost=cost)
-            out.append((cost, flt))
+
+            def build_filter(cost=cost):
+                flt = ph.Filter(cplan, node.predicate)
+                flt.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                    cost=cost)
+                return flt
+
+            out.append((cost, build_filter))
             return out
 
         if isinstance(node, lg.LogicalAggregate):
@@ -420,26 +482,35 @@ class OptimizationTask:
             cstats = self.memo.group(gexpr.children[0]).stats
             # hash aggregate
             cost = ccost + cm.hash_agg_cost(cstats.rows, stats.rows)
-            ha = ph.HashAggregate(cplan, node.keys, node.aggregates)
-            ha.estimates = ph.Estimates(
-                rows=stats.rows, bytes=stats.bytes,
-                memory=cm.hash_agg_memory(stats.rows, stats.width),
-                cost=cost)
-            out.append((cost, ha))
+
+            def build_hash_agg(cost=cost):
+                ha = ph.HashAggregate(cplan, node.keys, node.aggregates)
+                ha.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes,
+                    memory=cm.hash_agg_memory(stats.rows, stats.width),
+                    cost=cost)
+                return ha
+
+            out.append((cost, build_hash_agg))
             # sort + stream aggregate
             if node.keys:
                 sort_cost = cm.sort_cost(cstats.rows)
                 total = ccost + sort_cost + cm.stream_agg_cost(cstats.rows)
-                sort = ph.Sort(cplan, node.keys)
-                sort.estimates = ph.Estimates(
-                    rows=cstats.rows, bytes=cstats.bytes,
-                    memory=cm.sort_memory(cstats.bytes),
-                    cost=ccost + sort_cost)
-                sa = ph.StreamAggregate(sort, node.keys, node.aggregates)
-                sa.estimates = ph.Estimates(
-                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
-                    cost=total)
-                out.append((total, sa))
+
+                def build_stream_agg(total=total, sort_cost=sort_cost):
+                    sort = ph.Sort(cplan, node.keys)
+                    sort.estimates = ph.Estimates(
+                        rows=cstats.rows, bytes=cstats.bytes,
+                        memory=cm.sort_memory(cstats.bytes),
+                        cost=ccost + sort_cost)
+                    sa = ph.StreamAggregate(sort, node.keys,
+                                            node.aggregates)
+                    sa.estimates = ph.Estimates(
+                        rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                        cost=total)
+                    return sa
+
+                out.append((total, build_stream_agg))
             return out
 
         if isinstance(node, lg.LogicalProject):
@@ -448,10 +519,15 @@ class OptimizationTask:
                 return out
             cstats = self.memo.group(gexpr.children[0]).stats
             cost = ccost + cm.project_cost(cstats.rows)
-            proj = ph.Project(cplan, node.exprs)
-            proj.estimates = ph.Estimates(
-                rows=stats.rows, bytes=stats.bytes, memory=0.0, cost=cost)
-            out.append((cost, proj))
+
+            def build_project(cost=cost):
+                proj = ph.Project(cplan, node.exprs)
+                proj.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                    cost=cost)
+                return proj
+
+            out.append((cost, build_project))
             return out
 
         if isinstance(node, lg.LogicalSort):
@@ -460,11 +536,15 @@ class OptimizationTask:
                 return out
             cstats = self.memo.group(gexpr.children[0]).stats
             cost = ccost + cm.sort_cost(cstats.rows)
-            sort = ph.Sort(cplan, node.keys, node.descending)
-            sort.estimates = ph.Estimates(
-                rows=stats.rows, bytes=stats.bytes,
-                memory=cm.sort_memory(cstats.bytes), cost=cost)
-            out.append((cost, sort))
+
+            def build_sort(cost=cost):
+                sort = ph.Sort(cplan, node.keys, node.descending)
+                sort.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes,
+                    memory=cm.sort_memory(cstats.bytes), cost=cost)
+                return sort
+
+            out.append((cost, build_sort))
             return out
 
         raise SimulationError(f"no implementation for {node!r}")

@@ -105,18 +105,18 @@ class JoinAssociativity(Rule):
         left_group = ctx.memo.group(gexpr.children[0])
         right_id = gexpr.children[1]
         c_aliases = ctx.group_aliases(right_id)
+        outer_conjuncts = ex.conjuncts(node.condition)
         for inner in list(left_group.expressions):
             if not isinstance(inner.node, LogicalJoin):
                 continue
             a_id, b_id = inner.children
             b_aliases = ctx.group_aliases(b_id)
-            pool = (ex.conjuncts(node.condition)
-                    + ex.conjuncts(inner.node.condition))
+            pool = outer_conjuncts + ex.conjuncts(inner.node.condition)
             inner_scope = b_aliases | c_aliases
             inner_conds = [p for p in pool
-                           if p.referenced_aliases() <= inner_scope]
+                           if ex.cached_aliases(p) <= inner_scope]
             outer_conds = [p for p in pool
-                           if not p.referenced_aliases() <= inner_scope]
+                           if not ex.cached_aliases(p) <= inner_scope]
             # Refuse rewrites that would manufacture a cross product on
             # the inner side unless the original was already one.
             if not inner_conds and pool:

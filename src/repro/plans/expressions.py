@@ -8,6 +8,7 @@ relation alias assigned by the binder, which is unique within a query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import FrozenSet, Optional, Tuple, Union
 
 Value = Union[int, float, str]
@@ -28,6 +29,34 @@ class Expr:
         raise NotImplementedError
 
 
+def _cached_hash(cls):
+    """Class decorator: memoize the dataclass-generated ``__hash__``.
+
+    Expression trees serve as memo keys, so the optimizer hashes the
+    same immutable nodes millions of times per experiment; caching the
+    value per instance turns each repeat into one attribute load.
+    """
+    generated = cls.__hash__
+
+    def __hash__(self, _generated=generated):
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = _generated(self)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # never pickle the cache: string hashes are per-process
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    cls.__hash__ = __hash__
+    cls.__getstate__ = __getstate__
+    return cls
+
+
+@_cached_hash
 @dataclass(frozen=True)
 class ColumnRef(Expr):
     """A reference to ``alias.column``."""
@@ -45,6 +74,7 @@ class ColumnRef(Expr):
         return f"{self.alias}.{self.column}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Literal(Expr):
     """A constant value."""
@@ -63,6 +93,7 @@ class Literal(Expr):
         return str(self.value)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Comparison(Expr):
     """``left op right`` where op is one of =, <>, <, <=, >, >=."""
@@ -93,6 +124,7 @@ class Comparison(Expr):
         return f"{self.left} {self.op} {self.right}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Between(Expr):
     """``expr BETWEEN low AND high`` (inclusive)."""
@@ -115,6 +147,7 @@ class Between(Expr):
         return f"{self.expr} BETWEEN {self.low} AND {self.high}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class And(Expr):
     """Conjunction of predicates."""
@@ -137,6 +170,7 @@ class And(Expr):
         return "(" + " AND ".join(str(c) for c in self.children) + ")"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Or(Expr):
     """Disjunction of predicates."""
@@ -159,6 +193,7 @@ class Or(Expr):
         return "(" + " OR ".join(str(c) for c in self.children) + ")"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Arithmetic(Expr):
     """``left op right`` for op in +, -, *, / (used inside aggregates,
@@ -186,6 +221,7 @@ class Arithmetic(Expr):
 AGGREGATE_FUNCS = ("sum", "count", "avg", "min", "max")
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Aggregate(Expr):
     """``FUNC(arg)``; arg is None for COUNT(*)."""
@@ -211,6 +247,18 @@ class Aggregate(Expr):
 
 
 # -- predicate helpers ---------------------------------------------------
+@lru_cache(maxsize=16384)
+def cached_aliases(expr: Expr) -> FrozenSet[str]:
+    """Memoized :meth:`Expr.referenced_aliases`.
+
+    Rule application asks for the alias set of the same (immutable)
+    conjuncts thousands of times per optimization; caching here turns
+    the recursive frozenset unions into one dict hit.
+    """
+    return expr.referenced_aliases()
+
+
+@lru_cache(maxsize=16384)
 def conjuncts(predicate: Optional[Expr]) -> Tuple[Expr, ...]:
     """Flatten a predicate into its top-level AND factors."""
     if predicate is None:
@@ -225,7 +273,7 @@ def conjuncts(predicate: Optional[Expr]) -> Tuple[Expr, ...]:
 
 def make_conjunction(parts) -> Optional[Expr]:
     """Combine predicates with AND; None for an empty list."""
-    parts = tuple(p for p in parts if p is not None)
+    parts = tuple([p for p in parts if p is not None])
     if not parts:
         return None
     if len(parts) == 1:

@@ -74,11 +74,15 @@ class DatabaseServer:
                                    time_scale=scale)
         best_plan = (config.throttle.enabled
                      and config.throttle.best_plan_so_far)
+        if config.broker.enabled:
+            # soft-grant handshake: compilation allocations consult the
+            # broker before touching physical memory (extension (b))
+            self.compile_clerk.advisor = self.broker.advise_compile_grant
         self.pipeline = CompilationPipeline(
             self.env, self.scheduler, self.governor, self.optimizer,
             self.binder, self.compile_clerk,
             broker=self.broker if config.broker.enabled else None,
-            best_plan_so_far=best_plan)
+            best_plan_so_far=best_plan, time_scale=scale)
 
         # -- execution side -----------------------------------------------------
         workspace_clerk = self.memory.clerk("workspace")

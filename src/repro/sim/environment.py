@@ -8,7 +8,6 @@ its callbacks; ``run`` steps until a deadline or until no events remain.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from itertools import count
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -30,10 +29,12 @@ class Environment:
     10.0
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
-        self._eid = count()
+        self._eid = 0
         #: the process currently being resumed (kernel internal)
         self.active_process = None
 
@@ -68,7 +69,8 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Place a triggered event on the heap, ``delay`` seconds from now."""
-        heappush(self._queue, (self._now + delay, next(self._eid), event))
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -103,7 +105,19 @@ class Environment:
             limit = float(until)
         else:
             limit = float("inf")
-        while self._queue and self._queue[0][0] <= limit:
-            self.step()
+        # inlined step(): this loop dispatches every event of a run, so
+        # the attribute lookups are hoisted out
+        queue = self._queue
+        pop = heappop
+        while queue and queue[0][0] <= limit:
+            when, _, event = pop(queue)
+            if when < self._now:
+                raise SimulationError("event scheduled in the past")
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if until is not None:
             self._now = limit

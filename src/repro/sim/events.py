@@ -40,6 +40,10 @@ class Event:
     chains.
     """
 
+    # events are allocated on every timeout/request/resume — __slots__
+    # keeps them dict-free, which measurably cuts kernel overhead
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -117,6 +121,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
@@ -129,6 +135,8 @@ class Timeout(Event):
 
 class Condition(Event):
     """Base for events composed of other events (``AnyOf`` / ``AllOf``)."""
+
+    __slots__ = ("events", "_unprocessed")
 
     def __init__(self, env: "Environment", events: List[Event]):
         super().__init__(env)
@@ -180,12 +188,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Fires as soon as *any* child event succeeds (or one fails)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return any(event.processed and event._ok for event in self.events)
 
 
 class AllOf(Condition):
     """Fires once *all* child events have succeeded (or one fails)."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._unprocessed == 0

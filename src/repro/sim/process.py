@@ -18,6 +18,8 @@ from repro.sim.events import Event, Interrupt, _PENDING
 class Process(Event):
     """A running generator coroutine inside an environment."""
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env, generator: Generator):
         if not hasattr(generator, "send"):
             raise SimulationError(f"process needs a generator, got {generator!r}")

@@ -18,6 +18,8 @@ from repro.sim.events import Event
 class Request(Event):
     """A pending claim on one slot of a :class:`Resource`."""
 
+    __slots__ = ("resource", "granted")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource

@@ -129,3 +129,33 @@ def test_disabled_broker_never_starts(env):
 def test_pressure_limit_includes_headroom(env):
     manager, broker = make_broker(env, headroom_fraction=0.1)
     assert broker.pressure_limit == int(manager.physical_memory * 0.9)
+
+
+def test_advise_compile_grant_passes_without_pressure(env):
+    manager, broker = make_broker(env)
+    clerk = manager.clerk("compilation")
+    assert broker.advise_compile_grant(clerk, 500 * MiB)
+
+
+def test_advise_compile_grant_denies_imminent_oom(env):
+    """Under pressure, a grant that would not fit even after full cache
+    reclamation is declined before any physical allocation happens."""
+    manager, broker = make_broker(env, buffer_pool_floor_fraction=0.2)
+    pool = manager.clerk("buffer_pool")
+    pool.allocate(500 * MiB)
+    grants = manager.clerk("workspace")
+    grants.allocate(400 * MiB)
+    clerk = manager.clerk("compilation")
+    broker.under_pressure = True
+    # available = 100 MiB; pool reclaimable = 500 - 200 (floor) = 300
+    # MiB, rounded down to whole 32 MiB eviction chunks -> 288 MiB
+    assert broker.reclaimable_bytes() == 288 * MiB
+    assert broker.advise_compile_grant(clerk, 350 * MiB)
+    assert not broker.advise_compile_grant(clerk, 389 * MiB)
+
+
+def test_advise_compile_grant_disabled_broker_always_grants(env):
+    manager, broker = make_broker(env, enabled=False)
+    clerk = manager.clerk("compilation")
+    broker.under_pressure = True
+    assert broker.advise_compile_grant(clerk, manager.physical_memory * 2)

@@ -9,6 +9,7 @@ from repro.errors import (
     OutOfMemoryError,
 )
 from repro.memory import MemoryAccount, MemoryManager
+from repro.memory.clerk import GrantOutcome
 from repro.units import MiB
 
 
@@ -109,6 +110,48 @@ def test_peak_tracking():
     clerk.allocate(100)
     assert clerk.peak == 300
     assert clerk.total_allocated == 400
+
+
+def test_request_grant_granted_charges_clerk():
+    manager = MemoryManager(1000)
+    clerk = manager.clerk("compilation")
+    assert clerk.request_grant(300) is GrantOutcome.GRANTED
+    assert clerk.used == 300
+    assert manager.used == 300
+
+
+def test_request_grant_soft_denial_consults_advisor():
+    manager = MemoryManager(1000)
+    clerk = manager.clerk("compilation")
+    clerk.advisor = lambda c, n: n <= 100
+    assert clerk.request_grant(200) is GrantOutcome.DENIED_SOFT
+    assert clerk.used == 0  # nothing allocated, nothing raised
+    assert clerk.soft_denials == 1
+    # non-soft requests bypass the advisor entirely
+    assert clerk.request_grant(200, soft=False) is GrantOutcome.GRANTED
+    assert clerk.used == 200
+
+
+def test_request_grant_hard_denial_on_physical_oom():
+    manager = MemoryManager(100)
+    clerk = manager.clerk("compilation")
+    clerk.allocate(90)
+    assert clerk.request_grant(50) is GrantOutcome.DENIED_HARD
+    assert clerk.used == 90
+    assert clerk.hard_denials == 1
+
+
+def test_account_request_tracks_usage_on_grant_only():
+    manager = MemoryManager(100)
+    clerk = manager.clerk("compilation")
+    account = MemoryAccount(clerk, label="q1")
+    assert account.request(60) is GrantOutcome.GRANTED
+    assert account.used == 60
+    assert account.request(60) is GrantOutcome.DENIED_HARD
+    assert account.used == 60  # denial leaves the account untouched
+    account.close()
+    with pytest.raises(AccountClosedError):
+        account.request(1)
 
 
 def test_account_charges_clerk():

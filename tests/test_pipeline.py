@@ -105,6 +105,83 @@ def test_compile_oom_with_fallback_degrades():
     assert server.pipeline.degraded_plans == 1
 
 
+def test_soft_grant_denial_degrades_instead_of_oom():
+    """Regression: the broker→compilation handshake.  A soft-grant
+    denial must yield a degraded plan, never a compile_oom error."""
+    server = make_server()
+    denials = []
+
+    def deny_growth(clerk, nbytes):
+        # simulate broker pressure: refuse any optimizer growth once
+        # the task got past stage 0 (the star query peaks ~1.5 MiB)
+        if clerk.used > 1 * MiB:
+            denials.append(nbytes)
+            return False
+        return True
+
+    server.compile_clerk.advisor = deny_growth
+
+    def run(env):
+        compiled = yield from server.pipeline.compile(STAR_QUERY, "q1")
+        return compiled
+
+    p = server.env.process(run(server.env))
+    server.env.run()
+    compiled = p.value
+    assert denials, "advisor never consulted"
+    assert compiled.degraded
+    assert compiled.plan is not None
+    assert server.pipeline.soft_denials >= 1
+    assert server.pipeline.oom_failures == 0
+    assert server.compile_clerk.used == 0
+
+
+def test_essential_allocation_waits_for_memory():
+    """An OOM before any fallback plan exists must wait for memory to
+    be freed and retry instead of failing the compilation."""
+    server = make_server()
+    env = server.env
+    hog = server.memory.clerk("hog")
+    hog.allocate(server.memory.available)  # nothing free at t=0
+
+    def run(env):
+        compiled = yield from server.pipeline.compile(STAR_QUERY, "q1")
+        return compiled
+
+    def release_later(env):
+        yield env.timeout(30.0)
+        hog.free_all()
+
+    p = env.process(run(env))
+    env.process(release_later(env))
+    env.run()
+    compiled = p.value
+    assert compiled.plan is not None
+    assert server.pipeline.oom_waits > 0
+    assert server.pipeline.oom_failures == 0
+
+
+def test_search_replay_reproduces_compile():
+    """A re-compiled text replays the recorded optimizer search with an
+    identical outcome."""
+    server = make_server()
+    outcomes = []
+
+    def run(env, label):
+        compiled = yield from server.pipeline.compile(STAR_QUERY, label)
+        outcomes.append(compiled)
+
+    # three sequential compiles of the same text: the first marks the
+    # text as seen, the second records, the third replays
+    for i in range(3):
+        server.env.process(run(server.env, f"q{i}"))
+        server.env.run()
+    assert server.pipeline.search_replays == 1
+    costs = {c.estimated_cost for c in outcomes}
+    peaks = {c.peak_memory for c in outcomes}
+    assert len(costs) == 1 and len(peaks) == 1
+
+
 def test_live_accounts_visible_during_compilation():
     server = make_server()
     seen = []
