@@ -44,6 +44,7 @@ from repro.sim import Environment
 from repro.throttle import CompilationGovernor, Gateway
 from repro.workload import (
     LoadGenerator,
+    MixedWorkload,
     OltpWorkload,
     SalesWorkload,
     TpchWorkload,
@@ -68,6 +69,7 @@ __all__ = [
     "LoadGenerator",
     "MemoryBroker",
     "MetricsCollector",
+    "MixedWorkload",
     "OltpWorkload",
     "OutOfMemoryError",
     "PlanCacheConfig",

@@ -56,6 +56,22 @@ class Catalog:
     def tables(self) -> Iterable[Table]:
         return self._tables.values()
 
+    def merge_from(self, other: "Catalog") -> None:
+        """Adopt every table of ``other`` into this catalog.
+
+        Statistics are carried over rather than rebuilt; each adopted
+        table gets a fresh on-disk layout slot.  Mixed workloads use
+        this to union the schemas of their component workloads.
+        """
+        for key, table in other._tables.items():
+            if key in self._tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+        for key, table in other._tables.items():
+            self._tables[key] = table
+            self._skew[key] = other._skew.get(key, 0.0)
+            self.pagemap.add_table(key, table.nbytes)
+        self._stats.update(other._stats)
+
     def statistics(self, table: str, column: str) -> ColumnStatistics:
         try:
             return self._stats[(table.lower(), column.lower())]

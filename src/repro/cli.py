@@ -2,6 +2,8 @@
 
 Commands
 --------
+``scenarios``    the declarative scenario API:
+                 ``list`` / ``describe <id>`` / ``run <id>…``
 ``figure``       reproduce one of the paper's figures (1, 2, 3, 4, 5)
 ``sweep``        client sweep (the CLAIM-SAT saturation experiment)
 ``ablation``     run one of the design ablations
@@ -10,34 +12,33 @@ Commands
 ``query``        compile + execute one ad-hoc query and print the report
 ``monitors``     print the memory-monitor ladder
 
+``figure``/``sweep``/``ablation`` are shims over the scenario registry:
+``repro figure 3`` and ``repro scenarios run fig3`` execute the same
+spec through the same facade and print identical output.
+
 Examples
 --------
 ::
 
+    python -m repro scenarios list
+    python -m repro scenarios run fig3 mixed-rush --workers 4
+    python -m repro scenarios run --scenario my_scenario.json
     python -m repro figure 3 --preset smoke
     python -m repro experiments --suite figures --workers 4 --out bench
-    python -m repro query --workload sales --seed 7
+    python -m repro query --workload mixed --seed 7
     python -m repro ablation gateways --clients 30
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
 
 from repro.config import paper_server_config
-from repro.experiments import (
-    figure1_monitors,
-    figure2_trace,
-    throughput_figure,
-)
-from repro.experiments.ablations import (
-    ablate_best_plan,
-    ablate_dynamic_thresholds,
-    ablate_gateway_count,
-)
+from repro.errors import ReproError
 from repro.experiments.runner import PRESETS, make_workload
 from repro.metrics.report import render_table
 from repro.server.server import DatabaseServer
@@ -58,6 +59,42 @@ def build_parser() -> argparse.ArgumentParser:
         description="CIDR'07 compilation-memory-throttling reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    scen = sub.add_parser(
+        "scenarios",
+        help="declarative scenario API (list / describe / run)")
+    scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
+
+    s_list = scen_sub.add_parser("list", help="list registered scenarios")
+    s_list.add_argument("--family", default=None,
+                        help="only scenarios of this family")
+
+    s_desc = scen_sub.add_parser(
+        "describe", help="print one scenario's JSON spec")
+    s_desc.add_argument("id")
+
+    s_run = scen_sub.add_parser(
+        "run", help="run scenarios by id, family or JSON spec file")
+    s_run.add_argument("ids", nargs="*",
+                       help="registered scenario ids to run")
+    s_run.add_argument("--all", action="store_true",
+                       help="run every registered scenario")
+    s_run.add_argument("--family", default=None,
+                       help="run every scenario of this family")
+    s_run.add_argument("--scenario", action="append", default=[],
+                       metavar="FILE",
+                       help="path to a user-authored JSON ScenarioSpec "
+                            "(repeatable)")
+    s_run.add_argument("--preset", default=None, choices=sorted(PRESETS),
+                       help="override each spec's preset")
+    s_run.add_argument("--seed", type=int, default=None,
+                       help="override each spec's seed")
+    s_run.add_argument("--clients", type=int, default=None,
+                       help="override each spec's client count")
+    s_run.add_argument("--workers", type=int, default=1,
+                       help="worker processes for experiment fan-out")
+    s_run.add_argument("--out", default=None,
+                       help="directory for BENCH_scenario_*.json artifacts")
+
     fig = sub.add_parser("figure", help="reproduce a paper figure")
     fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
     _add_common(fig)
@@ -69,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     abl = sub.add_parser("ablation", help="run a design ablation")
     abl.add_argument("which", choices=("gateways", "dynamic", "best-plan"))
-    abl.add_argument("--clients", type=int, default=30)
+    abl.add_argument("--clients", type=int, default=None)
     _add_common(abl)
 
     exp = sub.add_parser(
@@ -84,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="run one ad-hoc query")
     query.add_argument("--workload", default="sales",
-                       choices=("sales", "tpch", "oltp"))
+                       help="workload name (sales, tpch, oltp, mixed)")
     query.add_argument("--no-throttle", action="store_true")
     query.add_argument("--seed", type=int, default=7)
 
@@ -92,55 +129,111 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------- scenarios
+def _run_specs(specs, workers: int, out: Optional[str]) -> int:
+    """Run resolved specs; print each render; write artifacts."""
+    from repro.scenarios import run_scenario, write_scenario_artifact
+
+    failed = False
+    for index, spec in enumerate(specs):
+        if index:
+            print()
+        result = run_scenario(spec, workers=workers)
+        print(result.render())
+        if out:
+            path = write_scenario_artifact(out, result)
+            print(f"   artifact -> {path}")
+        if not result.ok:
+            failed = True
+    return 1 if failed else 0
+
+
+def _resolve_run_specs(args) -> list:
+    from repro.errors import ConfigurationError
+    from repro.scenarios import get_scenario, list_scenarios, \
+        load_scenario_file
+
+    specs = []
+    if args.all:
+        specs.extend(list_scenarios())
+    elif args.family:
+        family_specs = list_scenarios(family=args.family)
+        if not family_specs:
+            from repro.scenarios import scenario_families
+
+            raise ConfigurationError(
+                f"no scenarios in family {args.family!r}; families: "
+                f"{', '.join(scenario_families())}")
+        specs.extend(family_specs)
+    specs.extend(get_scenario(scenario_id) for scenario_id in args.ids)
+    specs.extend(load_scenario_file(path) for path in args.scenario)
+    if not specs:
+        raise ConfigurationError(
+            "nothing to run: give scenario ids, --family, --all or "
+            "--scenario FILE")
+    return [spec.customized(preset=args.preset, seed=args.seed,
+                            clients=args.clients) for spec in specs]
+
+
+def cmd_scenarios(args) -> int:
+    from repro.scenarios import get_scenario, list_scenarios
+
+    if args.scenarios_command == "list":
+        specs = list_scenarios(family=args.family)
+        rows = [(spec.scenario_id, spec.family, spec.kind, spec.workload,
+                 spec.clients, len(spec.variants), spec.title)
+                for spec in specs]
+        print(render_table(
+            ("id", "family", "kind", "workload", "clients", "variants",
+             "title"), rows))
+        print(f"{len(specs)} scenarios")
+        return 0
+    if args.scenarios_command == "describe":
+        spec = get_scenario(args.id)
+        print(json.dumps(spec.to_dict(), indent=2))
+        return 0
+    specs = _resolve_run_specs(args)
+    return _run_specs(specs, workers=args.workers, out=args.out)
+
+
+# -------------------------------------------------------- legacy shims
 def cmd_figure(args) -> int:
-    if args.number == 1:
-        print(figure1_monitors())
-        return 0
-    if args.number == 2:
-        trace = figure2_trace(seed=args.seed)
-        print(trace.chart())
-        return 0
-    clients = {3: 30, 4: 35, 5: 40}[args.number]
-    comparison = throughput_figure(clients, preset=args.preset,
-                                   seed=args.seed, workers=args.workers)
-    print(comparison.render())
-    return 0
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario(f"fig{args.number}")
+    if args.number in (1, 2):
+        # fig1 renders a configuration; fig2 traces compilations —
+        # neither takes a preset, but the seed still applies to fig2
+        spec = spec.customized(seed=args.seed)
+    else:
+        spec = spec.customized(preset=args.preset, seed=args.seed)
+    return _run_specs([spec], workers=args.workers, out=None)
 
 
 def cmd_sweep(args) -> int:
-    from repro.experiments.engine import run_jobs, saturation_suite_jobs
+    from repro.scenarios import saturation_scenario
 
     # duplicate counts would be identical runs (same config, same
-    # seed) and would collide as job names; keep first occurrences
-    client_counts = list(dict.fromkeys(args.clients))
-    jobs = saturation_suite_jobs(preset=args.preset, seed=args.seed,
-                                 clients=client_counts)
-    batch = run_jobs(jobs, workers=args.workers)
-    rows = [(clients, result.completed, result.failed)
-            for clients, result in zip(client_counts, batch.ordered)
-            if result is not None]
-    print(render_table(("clients", "completed", "errors"), rows))
-    for name, error in batch.errors.items():
-        print(f"FAILED {name}: {error}")
-    return 1 if batch.errors else 0
+    # seed) and would collide as variant names; keep first occurrences
+    spec = saturation_scenario(tuple(dict.fromkeys(args.clients)),
+                               preset=args.preset, seed=args.seed)
+    return _run_specs([spec], workers=args.workers, out=None)
 
 
 def cmd_ablation(args) -> int:
-    runners = {
-        "gateways": ablate_gateway_count,
-        "dynamic": ablate_dynamic_thresholds,
-        "best-plan": ablate_best_plan,
+    from repro.scenarios import get_scenario
+
+    scenario_ids = {
+        "gateways": "abl-gates",
+        "dynamic": "abl-dyn",
+        "best-plan": "abl-bpsf",
     }
-    ablation = runners[args.which](clients=args.clients,
-                                   preset=args.preset, seed=args.seed,
-                                   workers=args.workers)
-    rows = [(label, r.completed, r.failed, r.degraded)
-            for label, r in ablation.results.items()]
-    print(render_table(("variant", "completed", "errors", "degraded"),
-                       rows))
-    return 0
+    spec = get_scenario(scenario_ids[args.which]).customized(
+        preset=args.preset, seed=args.seed, clients=args.clients)
+    return _run_specs([spec], workers=args.workers, out=None)
 
 
+# ------------------------------------------------------- engine suites
 def cmd_experiments(args) -> int:
     """Fan out a suite, print a summary, write BENCH artifacts."""
     from repro.experiments.ablations import ablation_suite_jobs
@@ -182,6 +275,7 @@ def cmd_experiments(args) -> int:
     return 1 if failed else 0
 
 
+# ------------------------------------------------------------ one-offs
 def cmd_query(args) -> int:
     workload = make_workload(args.workload)
     server = DatabaseServer(
@@ -204,6 +298,8 @@ def cmd_query(args) -> int:
 
 
 def cmd_monitors(_args) -> int:
+    from repro.experiments import figure1_monitors
+
     print(figure1_monitors())
     return 0
 
@@ -211,6 +307,7 @@ def cmd_monitors(_args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
+        "scenarios": cmd_scenarios,
         "figure": cmd_figure,
         "sweep": cmd_sweep,
         "ablation": cmd_ablation,
@@ -218,7 +315,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": cmd_query,
         "monitors": cmd_monitors,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -180,6 +180,10 @@ class CompilationPipeline:
         #: text (a retry, or a plan-cache eviction) starts recording —
         #: first-time compiles pay zero recording overhead
         self._search_seen: set = set()
+        #: when True every first-sighting search is recorded too; the
+        #: experiment engine enables this so recordings can be shared
+        #: across the worker pool (see export_recorded_searches)
+        self.record_all_searches = False
         #: compiles served by replaying a recorded search
         self.search_replays = 0
 
@@ -217,7 +221,8 @@ class CompilationPipeline:
                 # plan-cache eviction); hard-OOM servers fail and retry
                 # constantly and record cheaply (no best snapshots), so
                 # they record every search up front
-                if not self.best_plan_so_far or text in self._search_seen:
+                if (self.record_all_searches or not self.best_plan_so_far
+                        or text in self._search_seen):
                     recording = _SearchRecording(
                         table_count, record_bests=self.best_plan_so_far)
                 else:
@@ -284,6 +289,42 @@ class CompilationPipeline:
             account.close()
 
     # -- search replay housekeeping ----------------------------------------
+    def export_recorded_searches(self, limit: Optional[int] = None
+                                 ) -> "OrderedDict[str, _SearchRecording]":
+        """Completed recordings, oldest first (for cross-run seeding).
+
+        Only *completed* recordings travel: suspended ones pin a live
+        memo and an in-flight generator, neither of which can cross a
+        process boundary.  ``limit`` keeps the newest N entries.
+        """
+        out: "OrderedDict[str, _SearchRecording]" = OrderedDict()
+        for text, rec in self._search_cache.items():
+            if rec.result is not None and rec._iter is None:
+                out[text] = rec
+        if limit is not None:
+            while len(out) > limit:
+                out.popitem(last=False)
+        return out
+
+    def seed_recorded_searches(self, recordings) -> int:
+        """Adopt completed recordings from another server's pipeline.
+
+        Replaying a recording produces the same simulated CPU/memory
+        charges as re-running the search (the search is a pure function
+        of catalog and optimizer configuration), so seeding changes
+        wall-clock time only — never simulated results.  Returns the
+        number of entries adopted.
+        """
+        adopted = 0
+        for text, rec in recordings.items():
+            if rec.result is None or text in self._search_cache:
+                continue
+            self._search_cache[text] = rec
+            adopted += 1
+        while len(self._search_cache) > self.SEARCH_CACHE_SIZE:
+            self._search_cache.popitem(last=False)
+        return adopted
+
     def _evict_suspended(self) -> None:
         """Drop the oldest suspended recordings beyond the bound.
 

@@ -10,18 +10,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.config import (
     GatewayConfig,
     ServerConfig,
-    ThrottleConfig,
     default_gateways,
     paper_server_config,
 )
-from repro.experiments.engine import ExperimentJob, run_jobs
-from repro.experiments.runner import ExperimentConfig, ExperimentResult
-from repro.units import MiB
+from repro.experiments.runner import ExperimentResult
 
 
 def gateway_ladder(count: int) -> Tuple[GatewayConfig, ...]:
@@ -67,38 +64,21 @@ class AblationResult:
         return {label: r.failed for label, r in self.results.items()}
 
 
-def jobs_from_variants(variants: Dict[str, ServerConfig], clients: int,
-                       preset: str, seed: int,
-                       workload_name: str = "sales",
-                       prefix: str = "") -> List[ExperimentJob]:
-    """One :class:`ExperimentJob` per server-config variant — the
-    single mapping used by both the ablate_* entry points and the
-    engine's flat suite, so they can never run different configs."""
-    return [ExperimentJob(
-        name=f"{prefix}{label}",
-        config=ExperimentConfig(
-            workload=workload_name, clients=clients,
-            throttling=server_config.throttle.enabled, preset=preset,
-            seed=seed, server_overrides=server_config))
-        for label, server_config in variants.items()]
-
-
-def _run_variants(name: str, variants: Dict[str, ServerConfig],
-                  clients: int, preset: str, seed: int,
-                  workload_name: str = "sales",
-                  workers: int = 1) -> AblationResult:
-    """Run every variant through the experiment engine.
+def _run_scenario_ablation(name: str, spec, workers: int) -> AblationResult:
+    """Run one ablation scenario through the facade.
 
     With ``workers > 1`` the variants fan out across processes; the
     result dict always preserves the variant declaration order.
     """
-    jobs = jobs_from_variants(variants, clients, preset, seed,
-                              workload_name=workload_name)
-    batch = run_jobs(jobs, workers=workers)
+    from repro.scenarios import run_scenario
+
+    scenario = run_scenario(spec, workers=workers)
+    batch = scenario.batch
     if batch.errors:
         failures = ", ".join(f"{k}: {v}" for k, v in batch.errors.items())
         raise RuntimeError(f"ablation {name!r} had failing runs: {failures}")
-    results = {label: batch.results[label] for label in variants}
+    results = {variant.name: batch.results[variant.name]
+               for variant in spec.variants}
     return AblationResult(name=name, results=results)
 
 
@@ -120,44 +100,51 @@ def best_plan_variants() -> Dict[str, ServerConfig]:
     }
 
 
-#: every ablation: (suite prefix, default clients, variant factory) —
-#: the single source for both the ablate_* entry points and the
-#: engine's flat suite, so the two can never drift apart
-ABLATIONS = (
-    ("gates", 30, gateway_variants),
-    ("dyn", 35, dynamic_variants),
-    ("bpsf", 40, best_plan_variants),
-)
-
-
 def ablate_gateway_count(clients: int = 30, preset: str = "smoke",
                          seed: int = 1, workers: int = 1) -> AblationResult:
-    """ABL-GATES: 0, 1, 2 and 3 monitors."""
-    return _run_variants("gateway_count", gateway_variants(), clients,
-                         preset, seed, workers=workers)
+    """ABL-GATES: 0, 1, 2 and 3 monitors (scenario shim)."""
+    from repro.scenarios import gateway_ablation_scenario
+
+    return _run_scenario_ablation(
+        "gateway_count",
+        gateway_ablation_scenario(clients=clients, preset=preset,
+                                  seed=seed),
+        workers=workers)
 
 
 def ablate_dynamic_thresholds(clients: int = 35, preset: str = "smoke",
                               seed: int = 1,
                               workers: int = 1) -> AblationResult:
-    """ABL-DYN: static vs broker-driven thresholds."""
-    return _run_variants("dynamic_thresholds", dynamic_variants(), clients,
-                         preset, seed, workers=workers)
+    """ABL-DYN: static vs broker-driven thresholds (scenario shim)."""
+    from repro.scenarios import dynamic_ablation_scenario
+
+    return _run_scenario_ablation(
+        "dynamic_thresholds",
+        dynamic_ablation_scenario(clients=clients, preset=preset,
+                                  seed=seed),
+        workers=workers)
 
 
 def ablate_best_plan(clients: int = 40, preset: str = "smoke",
                      seed: int = 1, workers: int = 1) -> AblationResult:
-    """ABL-BPSF: best-plan-so-far on/off."""
-    return _run_variants("best_plan_so_far", best_plan_variants(), clients,
-                         preset, seed, workers=workers)
+    """ABL-BPSF: best-plan-so-far on/off (scenario shim)."""
+    from repro.scenarios import best_plan_ablation_scenario
+
+    return _run_scenario_ablation(
+        "best_plan_so_far",
+        best_plan_ablation_scenario(clients=clients, preset=preset,
+                                    seed=seed),
+        workers=workers)
 
 
 def ablation_suite_jobs(preset: str = "smoke",
                         seed: int = 1) -> list:
-    """Every ablation variant as one flat engine batch."""
+    """Every ablation variant as one flat engine batch, derived from
+    the registered ablation scenarios."""
+    from repro.scenarios import ABLATION_SCENARIOS, jobs_for_scenario
+
     jobs = []
-    for prefix, clients, variant_factory in ABLATIONS:
-        jobs.extend(jobs_from_variants(
-            variant_factory(), clients, preset, seed,
-            prefix=f"{prefix}_"))
+    for _name, prefix, builder in ABLATION_SCENARIOS:
+        spec = builder(preset=preset, seed=seed)
+        jobs.extend(jobs_for_scenario(spec, prefix=f"{prefix}_"))
     return jobs

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import pickle
 import platform
 import time
 from dataclasses import dataclass, field
@@ -31,7 +32,11 @@ from repro.experiments.runner import (
 )
 
 #: artifact schema version — bump when the JSON layout changes
-ARTIFACT_SCHEMA = 1
+#: (2: workload_params in configs, search_replays/soft_denials counters)
+ARTIFACT_SCHEMA = 2
+
+#: recordings kept per search profile in a shared pool
+SHARED_SEARCH_POOL_CAP = 1024
 
 
 @dataclass(frozen=True)
@@ -63,20 +68,98 @@ class BatchResult:
         return not self.errors
 
 
-def _run_job(payload: Tuple[int, str, ExperimentConfig]):
-    """Worker entry point: run one experiment, never raise."""
-    index, name, config = payload
+#: per-worker-process shared search pool: profile -> {text: recording}.
+#: Each pool worker accumulates recordings across the jobs it executes;
+#: new entries are shipped back to the parent for later batches and for
+#: the serial fallback path.
+_WORKER_SEARCHES: Dict[tuple, dict] = {}
+
+
+def _init_worker(seed_pool: Dict[tuple, dict]) -> None:
+    global _WORKER_SEARCHES
+    _WORKER_SEARCHES = {profile: dict(texts)
+                        for profile, texts in seed_pool.items()}
+
+
+def _trim_search_pool(pool: Dict[tuple, dict],
+                      cap: int = SHARED_SEARCH_POOL_CAP) -> None:
+    """Drop the oldest recordings beyond ``cap`` per profile."""
+    for texts in pool.values():
+        while len(texts) > cap:
+            del texts[next(iter(texts))]
+
+
+def _export_new_searches(pool: Dict[tuple, dict],
+                         before: Dict[tuple, frozenset]) -> Optional[bytes]:
+    """Pickle the recordings this job added to the worker pool.
+
+    Pre-pickling here (instead of letting the pool serialize live
+    recording objects inside the outcome tuple) means a pathological
+    unpicklable recording degrades to "no sharing" instead of killing
+    the batch.
+    """
+    new = {}
+    for profile, texts in pool.items():
+        seen = before.get(profile, frozenset())
+        fresh = {t: rec for t, rec in texts.items() if t not in seen}
+        if fresh:
+            new[profile] = fresh
+    if not new:
+        return None
     try:
-        return index, name, run_experiment(config), None
+        return pickle.dumps(new, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # pragma: no cover - defensive: drop the export
+        return None
+
+
+def _merge_search_blob(pool: Dict[tuple, dict],
+                       blob: Optional[bytes]) -> None:
+    if blob is None:
+        return
+    try:
+        new = pickle.loads(blob)
+    except Exception:  # pragma: no cover - defensive: drop the import
+        return
+    for profile, texts in new.items():
+        pool.setdefault(profile, {}).update(texts)
+    _trim_search_pool(pool)
+
+
+def _run_job(payload: Tuple[int, str, ExperimentConfig, bool]):
+    """Worker entry point: run one experiment, never raise."""
+    index, name, config, share = payload
+    pool = _WORKER_SEARCHES if share else None
+    before = None
+    if pool is not None:
+        before = {profile: frozenset(texts)
+                  for profile, texts in pool.items()}
+    try:
+        result = run_experiment(config, shared_searches=pool)
     except Exception as exc:  # noqa: BLE001 - error accounting, not control flow
-        return index, name, None, f"{type(exc).__name__}: {exc}"
+        return index, name, None, f"{type(exc).__name__}: {exc}", None
+    blob = None
+    if pool is not None:
+        _trim_search_pool(pool)
+        blob = _export_new_searches(pool, before)
+    return index, name, result, None, blob
 
 
 class ExperimentEngine:
-    """Runs experiment batches, serially or across processes."""
+    """Runs experiment batches, serially or across processes.
 
-    def __init__(self, workers: int = 1):
+    The engine threads one shared search pool through every batch it
+    runs: recorded optimizer searches from finished jobs seed later
+    jobs (directly when serial; via worker-local accumulation plus a
+    parent-side merge when pooled), so retried query texts replay
+    instead of re-running their search.  Replays are charge-identical
+    to live searches — sharing never changes simulated results.
+    """
+
+    def __init__(self, workers: int = 1, share_searches: bool = True):
         self.workers = max(1, int(workers))
+        self.share_searches = bool(share_searches)
+        #: profile -> {text: recording}; persists across run() calls
+        self.search_pool: Dict[tuple, dict] = {}
 
     def run(self, jobs: Sequence[ExperimentJob],
             progress: Optional[Callable[[str], None]] = None) -> BatchResult:
@@ -85,7 +168,7 @@ class ExperimentEngine:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate job names in batch: {names}")
         started = time.time()
-        payloads = [(i, job.name, job.config)
+        payloads = [(i, job.name, job.config, self.share_searches)
                     for i, job in enumerate(jobs)]
         workers = min(self.workers, len(payloads)) or 1
         if workers > 1:
@@ -93,7 +176,7 @@ class ExperimentEngine:
         else:
             outcomes = []
             for payload in payloads:
-                outcome = _run_job(payload)
+                outcome = self._run_serial(payload)
                 self._note(progress, outcome)
                 outcomes.append(outcome)
 
@@ -101,7 +184,8 @@ class ExperimentEngine:
         batch.ordered = [None] * len(payloads)
         # sort by submission index: with per-job seeds this makes the
         # aggregate independent of worker scheduling
-        for index, name, result, error in sorted(outcomes):
+        for index, name, result, error, blob in sorted(outcomes):
+            _merge_search_blob(self.search_pool, blob)
             if error is not None:
                 batch.errors[name] = error
             else:
@@ -110,15 +194,31 @@ class ExperimentEngine:
         batch.wall_seconds = time.time() - started
         return batch
 
+    def _run_serial(self, payload) -> tuple:
+        """Run one job in-process, sharing the engine pool directly."""
+        index, name, config, share = payload
+        pool = self.search_pool if share else None
+        try:
+            result = run_experiment(config, shared_searches=pool)
+        except Exception as exc:  # noqa: BLE001 - error accounting
+            return index, name, None, f"{type(exc).__name__}: {exc}", None
+        if pool is not None:
+            _trim_search_pool(pool)
+        return index, name, result, None, None
+
     def _run_pool(self, payloads, workers: int,
                   progress) -> List[tuple]:
         try:
             ctx = multiprocessing.get_context("fork")
+            # forked workers inherit the seed pool without pickling
+            seed_pool = self.search_pool
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context("spawn")
+            seed_pool = {}
         outcomes = []
         try:
-            with ctx.Pool(processes=workers) as pool:
+            with ctx.Pool(processes=workers, initializer=_init_worker,
+                          initargs=(seed_pool,)) as pool:
                 for outcome in pool.imap_unordered(_run_job, payloads):
                     self._note(progress, outcome)
                     outcomes.append(outcome)
@@ -127,7 +227,7 @@ class ExperimentEngine:
             done = {o[0] for o in outcomes}
             for payload in payloads:
                 if payload[0] not in done:
-                    outcome = _run_job(payload)
+                    outcome = self._run_serial(payload)
                     self._note(progress, outcome)
                     outcomes.append(outcome)
         return outcomes
@@ -136,7 +236,7 @@ class ExperimentEngine:
     def _note(progress, outcome) -> None:
         if progress is None:
             return
-        _, name, result, error = outcome
+        _, name, result, error, _blob = outcome
         if error is not None:
             progress(f"{name}: FAILED ({error})")
         else:
@@ -146,9 +246,12 @@ class ExperimentEngine:
 
 
 def run_jobs(jobs: Sequence[ExperimentJob], workers: int = 1,
-             progress: Optional[Callable[[str], None]] = None) -> BatchResult:
+             progress: Optional[Callable[[str], None]] = None,
+             share_searches: bool = True) -> BatchResult:
     """Convenience wrapper: one engine, one batch."""
-    return ExperimentEngine(workers=workers).run(jobs, progress=progress)
+    engine = ExperimentEngine(workers=workers,
+                              share_searches=share_searches)
+    return engine.run(jobs, progress=progress)
 
 
 # ------------------------------------------------------------- artifacts
@@ -158,6 +261,7 @@ def summarize_result(result: ExperimentResult) -> dict:
     return {
         "config": {
             "workload": config.workload,
+            "workload_params": dict(config.workload_params),
             "clients": config.clients,
             "throttling": config.throttling,
             "preset": config.preset,
@@ -169,6 +273,8 @@ def summarize_result(result: ExperimentResult) -> dict:
         "error_counts": dict(sorted(result.error_counts.items())),
         "degraded": result.degraded,
         "retries": result.retries,
+        "search_replays": result.search_replays,
+        "soft_denials": result.soft_denials,
         "mean_per_bucket": result.mean_per_bucket,
         "mean_compile_time": result.mean_compile_time,
         "mean_execution_time": result.mean_execution_time,
@@ -219,25 +325,23 @@ def write_artifact(out_dir: str, name: str, batch: BatchResult) -> str:
 def figure_suite_jobs(preset: str = "smoke", seed: int = 3,
                       workload: str = "sales") -> List[ExperimentJob]:
     """The six runs behind Figures 3/4/5 (30/35/40 clients, throttled
-    and un-throttled)."""
+    and un-throttled), derived from the registered figure scenarios."""
+    from repro.scenarios import jobs_for_scenario, throughput_scenario
+
     jobs = []
     for clients in (30, 35, 40):
-        for throttling in (True, False):
-            mode = "throttled" if throttling else "unthrottled"
-            jobs.append(ExperimentJob(
-                name=f"fig_{clients}c_{mode}",
-                config=ExperimentConfig(
-                    workload=workload, clients=clients,
-                    throttling=throttling, preset=preset, seed=seed)))
+        spec = throughput_scenario(clients, preset=preset, seed=seed,
+                                   workload=workload)
+        jobs.extend(jobs_for_scenario(spec, prefix=f"fig_{clients}c_"))
     return jobs
 
 
 def saturation_suite_jobs(preset: str = "smoke", seed: int = 3,
                           clients: Sequence[int] = (5, 15, 30, 40),
                           workload: str = "sales") -> List[ExperimentJob]:
-    """The CLAIM-SAT client sweep."""
-    return [ExperimentJob(
-        name=f"sat_{c}c",
-        config=ExperimentConfig(workload=workload, clients=c,
-                                throttling=True, preset=preset, seed=seed))
-        for c in clients]
+    """The CLAIM-SAT client sweep, derived from the scenario spec."""
+    from repro.scenarios import jobs_for_scenario, saturation_scenario
+
+    spec = saturation_scenario(clients, preset=preset, seed=seed,
+                               workload=workload)
+    return jobs_for_scenario(spec)

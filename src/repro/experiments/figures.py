@@ -14,11 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import paper_server_config
-from repro.experiments.runner import (
-    ExperimentConfig,
-    ExperimentResult,
-    PRESETS,
-)
+from repro.experiments.runner import ExperimentResult
 from repro.metrics.report import ascii_chart, render_table
 from repro.server.server import DatabaseServer
 from repro.units import MiB, format_bytes
@@ -172,18 +168,17 @@ def throughput_figure(clients: int, preset: str = "scaled",
                       workers: int = 1) -> ThroughputComparison:
     """Reproduce one of Figures 3/4/5 (clients = 30/35/40).
 
-    ``workers=2`` runs the throttled/un-throttled pair concurrently.
+    Deprecated shim: the run is now described by a declarative
+    :class:`~repro.scenarios.ScenarioSpec` and executed through
+    :func:`~repro.scenarios.run_scenario` (``workers=2`` still runs the
+    throttled/un-throttled pair concurrently).
     """
-    from repro.experiments.engine import ExperimentJob, run_jobs
+    from repro.scenarios import run_scenario, throughput_scenario
 
-    jobs = [ExperimentJob(
-        name=mode,
-        config=ExperimentConfig(
-            workload=workload_name, clients=clients,
-            throttling=throttling, preset=preset, seed=seed))
-        for mode, throttling in (("throttled", True),
-                                 ("unthrottled", False))]
-    batch = run_jobs(jobs, workers=workers)
+    spec = throughput_scenario(clients, preset=preset, seed=seed,
+                               workload=workload_name)
+    scenario = run_scenario(spec, workers=workers)
+    batch = scenario.batch
     if batch.errors:
         failures = ", ".join(f"{k}: {v}" for k, v in batch.errors.items())
         raise RuntimeError(f"throughput figure runs failed: {failures}")

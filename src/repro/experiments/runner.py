@@ -20,6 +20,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.server.server import DatabaseServer
 from repro.workload.base import Workload
 from repro.workload.loadgen import ClientStats, LoadGenerator
+from repro.workload.mixed import MixedWorkload
 from repro.workload.oltp import OltpWorkload
 from repro.workload.sales import SalesWorkload
 from repro.workload.tpch import TpchWorkload
@@ -54,6 +55,16 @@ PRESETS: Dict[str, Preset] = {
 }
 
 
+def get_preset(name: str) -> Preset:
+    """Look a preset up by name, with a helpful configuration error."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; valid presets: "
+            f"{', '.join(sorted(PRESETS))}") from None
+
+
 @dataclass
 class ExperimentConfig:
     """One fully-specified run."""
@@ -64,11 +75,14 @@ class ExperimentConfig:
     preset: str = "scaled"
     seed: int = 1
     think_time: float = 15.0
+    #: extra keyword arguments for the workload factory, as a sorted
+    #: tuple of (name, value) pairs so configs stay hashable/picklable
+    workload_params: Tuple[Tuple[str, object], ...] = ()
     #: overrides applied to the ServerConfig after preset handling
     server_overrides: Optional[ServerConfig] = None
 
     def build_server_config(self) -> ServerConfig:
-        preset = PRESETS[self.preset]
+        preset = get_preset(self.preset)
         base = self.server_overrides or paper_server_config()
         cfg = base.with_throttling(self.throttling)
         cfg = cfg.scaled(preset.time_scale)
@@ -76,18 +90,33 @@ class ExperimentConfig:
             cfg = cfg.fast(preset.fast_factor)
         return cfg
 
+    def build_workload(self) -> Workload:
+        return make_workload(self.workload, **dict(self.workload_params))
 
-def make_workload(name: str, scale: float = 1.0) -> Workload:
+
+#: workload factories by name (the CLI and ScenarioSpec validation use
+#: the key set as the list of valid workload names)
+WORKLOAD_FACTORIES = {
+    "sales": SalesWorkload,
+    "tpch": TpchWorkload,
+    "oltp": OltpWorkload,
+    "mixed": MixedWorkload,
+}
+
+
+def make_workload(name: str, scale: float = 1.0, **params) -> Workload:
     """Instantiate a workload by name."""
-    factories = {
-        "sales": SalesWorkload,
-        "tpch": TpchWorkload,
-        "oltp": OltpWorkload,
-    }
     try:
-        return factories[name](scale=scale)
+        factory = WORKLOAD_FACTORIES[name]
     except KeyError:
-        raise ConfigurationError(f"unknown workload {name!r}") from None
+        raise ConfigurationError(
+            f"unknown workload {name!r}; valid workloads: "
+            f"{', '.join(sorted(WORKLOAD_FACTORIES))}") from None
+    try:
+        return factory(scale=scale, **params)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"bad parameters for workload {name!r}: {exc}") from None
 
 
 @dataclass
@@ -108,6 +137,11 @@ class ExperimentResult:
     memory_by_clerk: Dict[str, float]
     gateway_stats: List[Tuple[str, int, int, float]]
     wall_seconds: float
+    #: compiles served by replaying a recorded optimizer search (varies
+    #: with cache seeding/worker scheduling; never changes results)
+    search_replays: int = 0
+    #: broker soft-grant denials that degraded to a best-so-far plan
+    soft_denials: int = 0
 
     @property
     def mean_per_bucket(self) -> float:
@@ -120,22 +154,59 @@ class ExperimentResult:
 _RUNS_SINCE_GC_SWEEP = 0
 
 
+def search_profile(config: ExperimentConfig,
+                   server_config: ServerConfig) -> tuple:
+    """The key under which runs may share recorded optimizer searches.
+
+    A recording is only replayable where the search would have been
+    recomputed identically: same catalog (workload name + parameters)
+    and same optimizer/time configuration.  The best-plan flag matters
+    too — recordings made without best-plan snapshots cannot serve a
+    best-plan server's fallback lookups.
+    """
+    return (
+        config.workload,
+        config.workload_params,
+        server_config.optimizer_effort,
+        server_config.optimizer_memory_multiplier,
+        server_config.time_scale,
+        server_config.throttle.enabled and
+        server_config.throttle.best_plan_so_far,
+    )
+
+
 def run_experiment(config: ExperimentConfig,
-                   workload: Optional[Workload] = None) -> ExperimentResult:
+                   workload: Optional[Workload] = None,
+                   shared_searches: Optional[Dict[tuple, dict]] = None,
+                   ) -> ExperimentResult:
     """Execute one run and collect its results.
 
     ``workload`` can be passed pre-built so a catalog is shared between
     runs of a comparison (building it is cheap, but sharing guarantees
     identical schemas).
+
+    ``shared_searches`` is a caller-owned ``profile -> {text:
+    recording}`` pool: matching recordings seed this run's pipeline
+    before it starts, and recordings completed during the run are
+    merged back afterwards.  The experiment engine threads one pool
+    through a whole batch so retried query texts replay across the
+    worker pool.  Replays are charge-identical to live searches, so the
+    pool affects wall-clock time only, never simulated results.
     """
-    preset = PRESETS[config.preset]
+    preset = get_preset(config.preset)
     scale = preset.time_scale
     server_config = config.build_server_config()
-    workload = workload or make_workload(config.workload)
+    workload = workload or config.build_workload()
     catalog = workload.build_catalog()
 
     metrics = MetricsCollector(bucket_width=preset.bucket / scale)
     server = DatabaseServer(server_config, catalog, metrics=metrics)
+    profile = None
+    if shared_searches is not None:
+        profile = search_profile(config, server_config)
+        server.pipeline.record_all_searches = True
+        server.pipeline.seed_recorded_searches(
+            shared_searches.get(profile, {}))
     duration_sim = (preset.warmup + preset.measure) / scale
     generator = LoadGenerator(
         server, workload, clients=config.clients, duration=duration_sim,
@@ -164,6 +235,10 @@ def run_experiment(config: ExperimentConfig,
             _RUNS_SINCE_GC_SWEEP = 0
             gc.collect()
 
+    if shared_searches is not None:
+        pool = shared_searches.setdefault(profile, {})
+        pool.update(server.pipeline.export_recorded_searches())
+
     warm_sim = preset.warmup / scale
     series = [(t * scale, count)
               for t, count in metrics.throughput_series(
@@ -187,4 +262,6 @@ def run_experiment(config: ExperimentConfig,
         memory_by_clerk=memory,
         gateway_stats=gateways,
         wall_seconds=wall,
+        search_replays=server.pipeline.search_replays,
+        soft_denials=server.pipeline.soft_denials,
     )

@@ -1,0 +1,65 @@
+"""Declarative scenarios: one spec type for every experiment surface.
+
+``ScenarioSpec`` (spec), the registry (``register_scenario`` /
+``get_scenario`` / ``list_scenarios``) and the ``run_scenario`` facade
+are the public API; importing this package also registers the built-in
+scenario catalogue (``repro.scenarios.library``).
+"""
+
+from repro.scenarios.spec import (
+    ConfigOverrides,
+    Expectation,
+    ScenarioSpec,
+    VariantSpec,
+)
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_families,
+    scenario_ids,
+    unregister_scenario,
+)
+from repro.scenarios.facade import (
+    CheckOutcome,
+    ScenarioResult,
+    jobs_for_scenario,
+    load_scenario_file,
+    result_metrics,
+    run_scenario,
+    write_scenario_artifact,
+)
+from repro.scenarios.library import (
+    ABLATION_SCENARIOS,
+    best_plan_ablation_scenario,
+    dynamic_ablation_scenario,
+    gateway_ablation_scenario,
+    saturation_scenario,
+    throughput_scenario,
+)
+
+__all__ = [
+    "ABLATION_SCENARIOS",
+    "CheckOutcome",
+    "ConfigOverrides",
+    "Expectation",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "VariantSpec",
+    "best_plan_ablation_scenario",
+    "dynamic_ablation_scenario",
+    "gateway_ablation_scenario",
+    "get_scenario",
+    "jobs_for_scenario",
+    "list_scenarios",
+    "load_scenario_file",
+    "register_scenario",
+    "result_metrics",
+    "run_scenario",
+    "saturation_scenario",
+    "scenario_families",
+    "scenario_ids",
+    "throughput_scenario",
+    "unregister_scenario",
+    "write_scenario_artifact",
+]

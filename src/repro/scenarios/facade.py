@@ -1,0 +1,335 @@
+"""The programmatic scenario facade.
+
+``run_scenario(spec, workers=N)`` is the one entry point the CLI, the
+legacy figure/ablation shims, the engine suite builders and the tests
+all route through: it lowers a :class:`ScenarioSpec` to engine jobs,
+fans them out, extracts a uniform metric namespace, evaluates the
+spec's expectations and renders the scenario's artifact text.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import paper_server_config
+from repro.errors import ConfigurationError
+from repro.experiments.engine import (
+    BatchResult,
+    ExperimentJob,
+    run_jobs,
+    write_bench_document,
+)
+from repro.experiments.runner import ExperimentConfig, ExperimentResult
+from repro.metrics.report import render_table
+from repro.scenarios.spec import Expectation, ScenarioSpec
+
+
+# ------------------------------------------------------------ lowering
+def jobs_for_scenario(spec: ScenarioSpec,
+                      prefix: str = "") -> List[ExperimentJob]:
+    """One engine job per variant of an experiment scenario.
+
+    Variants whose overrides only toggle throttling lower to plain
+    ``ExperimentConfig`` flags (exactly the configs the legacy
+    harnesses built); anything richer carries a ServerConfig override.
+    """
+    if spec.kind != "experiment":
+        raise ConfigurationError(
+            f"scenario {spec.scenario_id!r} is a {spec.kind!r} scenario; "
+            f"only experiment scenarios lower to engine jobs")
+    jobs = []
+    for variant in spec.variants:
+        overrides = variant.overrides
+        if overrides.only_toggles_throttling():
+            server = None
+            throttling = (overrides.throttling
+                          if overrides.throttling is not None else True)
+        else:
+            server = overrides.apply(paper_server_config())
+            throttling = server.throttle.enabled
+        jobs.append(ExperimentJob(
+            name=prefix + variant.name,
+            config=ExperimentConfig(
+                workload=spec.workload,
+                workload_params=spec.workload_params,
+                clients=(variant.clients if variant.clients is not None
+                         else spec.clients),
+                throttling=throttling,
+                preset=spec.preset,
+                seed=spec.seed,
+                think_time=(variant.think_time
+                            if variant.think_time is not None
+                            else spec.think_time),
+                server_overrides=server)))
+    return jobs
+
+
+# ------------------------------------------------------------- results
+@dataclass
+class CheckOutcome:
+    """One evaluated expectation."""
+
+    expectation: Expectation
+    actual: Optional[float]
+    passed: bool
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        actual = ("n/a" if self.actual is None
+                  else f"{self.actual:g}")
+        return (f"check {status}: {self.expectation.describe()} "
+                f"(actual {actual})")
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    #: engine batch (experiment scenarios only)
+    batch: Optional[BatchResult]
+    #: variant name -> metric name -> value
+    variant_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: scenario-level aggregates (total_completed, improvement, ...)
+    scenario_metrics: Dict[str, float] = field(default_factory=dict)
+    checks: List[CheckOutcome] = field(default_factory=list)
+    #: the scenario's rendered artifact (figure text, table, ladder)
+    body: str = ""
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        if self.batch is not None and self.batch.errors:
+            return False
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        spec = self.spec
+        lines = [
+            f"== scenario {spec.scenario_id} — {spec.title}",
+            f"   family={spec.family} kind={spec.kind} "
+            f"workload={spec.workload} preset={spec.preset} "
+            f"seed={spec.seed}",
+        ]
+        if self.body:
+            lines.append(self.body)
+        if self.batch is not None:
+            for name, error in sorted(self.batch.errors.items()):
+                lines.append(f"FAILED {name}: {error}")
+        for check in self.checks:
+            lines.append(check.describe())
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------- metrics
+def result_metrics(result: ExperimentResult) -> Dict[str, float]:
+    """The per-variant metric namespace expectations can reference."""
+    metrics: Dict[str, float] = {
+        "completed": float(result.completed),
+        "failed": float(result.failed),
+        "degraded": float(result.degraded),
+        "retries": float(result.retries),
+        "mean_per_bucket": result.mean_per_bucket,
+        "mean_compile_time": result.mean_compile_time,
+        "mean_execution_time": result.mean_execution_time,
+        "search_replays": float(result.search_replays),
+        "soft_denials": float(result.soft_denials),
+        "wall_seconds": result.wall_seconds,
+    }
+    for kind, count in result.error_counts.items():
+        metrics[f"errors.{kind}"] = float(count)
+    return metrics
+
+
+def _aggregate_metrics(spec: ScenarioSpec,
+                       variant_metrics: Dict[str, Dict[str, float]]
+                       ) -> Dict[str, float]:
+    aggregate = {
+        "total_completed": sum(m.get("completed", 0.0)
+                               for m in variant_metrics.values()),
+        "total_failed": sum(m.get("failed", 0.0)
+                            for m in variant_metrics.values()),
+        "total_degraded": sum(m.get("degraded", 0.0)
+                              for m in variant_metrics.values()),
+        "variants_ok": float(len(variant_metrics)),
+    }
+    # scenario-level errors.<kind> = the sum across variants, so the
+    # errors.* zero-default means "never occurred anywhere"
+    for metrics in variant_metrics.values():
+        for name, value in metrics.items():
+            if name.startswith("errors."):
+                aggregate[name] = aggregate.get(name, 0.0) + value
+    throttled = variant_metrics.get("throttled")
+    unthrottled = variant_metrics.get("unthrottled")
+    if throttled is not None and unthrottled is not None:
+        base = unthrottled.get("completed", 0.0)
+        if base > 0:
+            aggregate["improvement"] = \
+                throttled.get("completed", 0.0) / base - 1.0
+        else:
+            aggregate["improvement"] = (
+                math.inf if throttled.get("completed", 0.0) else 0.0)
+    return aggregate
+
+
+def _lookup_metric(expectation: Expectation,
+                   variant_metrics: Dict[str, Dict[str, float]],
+                   scenario_metrics: Dict[str, float]
+                   ) -> Optional[float]:
+    if expectation.variant is None:
+        source: Optional[Dict[str, float]] = scenario_metrics
+    else:
+        source = variant_metrics.get(expectation.variant)
+    if source is None:
+        return None
+    value = source.get(expectation.metric)
+    if value is None and expectation.metric.startswith("errors."):
+        # an error kind that never occurred counts as zero
+        value = 0.0
+    return value
+
+
+def evaluate_expectations(spec: ScenarioSpec,
+                          variant_metrics: Dict[str, Dict[str, float]],
+                          scenario_metrics: Dict[str, float]
+                          ) -> List[CheckOutcome]:
+    checks = []
+    for expectation in spec.expect:
+        actual = _lookup_metric(expectation, variant_metrics,
+                                scenario_metrics)
+        passed = actual is not None and expectation.holds(actual)
+        checks.append(CheckOutcome(expectation=expectation,
+                                   actual=actual, passed=passed))
+    return checks
+
+
+# ----------------------------------------------------------- rendering
+def _render_experiment(spec: ScenarioSpec, batch: BatchResult) -> str:
+    if spec.render == "comparison" \
+            and {"throttled", "unthrottled"} <= set(batch.results):
+        from repro.experiments.figures import ThroughputComparison
+
+        comparison = ThroughputComparison(
+            clients=spec.clients,
+            throttled=batch.results["throttled"],
+            unthrottled=batch.results["unthrottled"])
+        return comparison.render()
+    # no wall-clock column: identical runs must render identical bytes
+    rows = [(name, result.completed, result.failed, result.degraded)
+            for name, result in batch.results.items()]
+    return render_table(
+        ("variant", "completed", "errors", "degraded"), rows)
+
+
+# ------------------------------------------------------------- running
+def run_scenario(spec: ScenarioSpec, workers: int = 1,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> ScenarioResult:
+    """Run one scenario and evaluate its expectations."""
+    started = time.time()
+    if spec.kind == "monitors":
+        result = _run_monitors(spec)
+    elif spec.kind == "trace":
+        result = _run_trace(spec)
+    else:
+        result = _run_experiment_scenario(spec, workers, progress)
+    result.wall_seconds = time.time() - started
+    return result
+
+
+def _run_experiment_scenario(spec: ScenarioSpec, workers: int,
+                             progress) -> ScenarioResult:
+    batch = run_jobs(jobs_for_scenario(spec), workers=workers,
+                     progress=progress)
+    variant_metrics = {name: result_metrics(result)
+                       for name, result in batch.results.items()}
+    scenario_metrics = _aggregate_metrics(spec, variant_metrics)
+    checks = evaluate_expectations(spec, variant_metrics,
+                                   scenario_metrics)
+    return ScenarioResult(
+        spec=spec, batch=batch,
+        variant_metrics=variant_metrics,
+        scenario_metrics=scenario_metrics,
+        checks=checks,
+        body=_render_experiment(spec, batch))
+
+
+def _run_monitors(spec: ScenarioSpec) -> ScenarioResult:
+    from repro.experiments.figures import figure1_monitors
+
+    params = dict(spec.workload_params)
+    body = figure1_monitors(bool(params.get("throttling", True)))
+    return ScenarioResult(spec=spec, batch=None, body=body)
+
+
+def _run_trace(spec: ScenarioSpec) -> ScenarioResult:
+    from repro.experiments.figures import figure2_trace
+
+    params = dict(spec.workload_params)
+    trace = figure2_trace(
+        seed=spec.seed,
+        fast_factor=float(params.get("fast_factor", 4.0)),
+        background=int(params.get("background", 24)))
+    scenario_metrics = {
+        "traced_queries": float(len(trace.curves)),
+        "plateau_total": float(sum(trace.plateau_count(label)
+                                   for label in trace.curves)),
+    }
+    checks = evaluate_expectations(spec, {}, scenario_metrics)
+    return ScenarioResult(spec=spec, batch=None,
+                          scenario_metrics=scenario_metrics,
+                          checks=checks, body=trace.chart())
+
+
+# ---------------------------------------------------------- spec files
+def load_scenario_file(path: str) -> ScenarioSpec:
+    """Parse a user-authored JSON spec file into a validated spec."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read scenario file {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"scenario file {path!r} is not valid JSON: {exc}") from None
+    return ScenarioSpec.from_dict(doc)
+
+
+# ----------------------------------------------------------- artifacts
+def _json_safe(value):
+    """Non-finite floats are invalid strict JSON; ship them as strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def write_scenario_artifact(out_dir: str,
+                            result: ScenarioResult) -> str:
+    """Write one scenario's ``BENCH_scenario_<id>.json``."""
+    from repro.experiments.engine import summarize_result
+
+    spec = result.spec
+    payload = {
+        "spec": spec.to_dict(),
+        "ok": result.ok,
+        "wall_seconds": result.wall_seconds,
+        "scenario_metrics": {name: _json_safe(value) for name, value
+                             in sorted(result.scenario_metrics.items())},
+        "checks": [{
+            "expectation": check.expectation.to_dict(),
+            "actual": _json_safe(check.actual),
+            "passed": check.passed,
+        } for check in result.checks],
+    }
+    if result.batch is not None:
+        payload["errors"] = dict(sorted(result.batch.errors.items()))
+        payload["results"] = {
+            name: summarize_result(res)
+            for name, res in result.batch.results.items()}
+    safe_id = spec.scenario_id.replace("/", "_")
+    return write_bench_document(out_dir, f"scenario_{safe_id}", payload)

@@ -1,0 +1,288 @@
+"""Built-in scenarios: every paper artifact plus new scenario families.
+
+Each ``*_scenario`` builder returns a parameterized spec (the legacy
+Python APIs and CLI shims call these with their historical defaults);
+module import registers the canonical instances, so ``repro scenarios
+list`` shows the whole catalogue.
+
+Families
+--------
+``figures``     FIG-1/2/3/4/5 — the paper's figures
+``ablations``   ABL-GATES / ABL-DYN / ABL-BPSF — §4.1 design ablations
+``saturation``  CLAIM-SAT — the client-count saturation sweep
+``mixed``       OLTP point queries co-located with ad-hoc TPC-H
+``memory``      throughput under a shrinking physical-memory budget
+``ladder``      full ladder vs small-monitor-only across load levels
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import (
+    ConfigOverrides,
+    Expectation,
+    ScenarioSpec,
+    VariantSpec,
+)
+from repro.units import GiB
+
+#: paper figure number -> client count (Figures 3/4/5)
+FIGURE_CLIENTS = {3: 30, 4: 35, 5: 40}
+
+
+# ------------------------------------------------------------- figures
+def throughput_scenario(clients: int, preset: str = "smoke",
+                        seed: int = 3,
+                        workload: str = "sales") -> ScenarioSpec:
+    """Throttled vs un-throttled throughput at ``clients`` clients."""
+    numbers = {v: k for k, v in FIGURE_CLIENTS.items()}
+    figure = numbers.get(clients)
+    scenario_id = f"fig{figure}" if figure else f"throughput-{clients}c"
+    title = (f"Figure {figure}: throughput at {clients} clients"
+             if figure else f"Throughput comparison at {clients} clients")
+    return ScenarioSpec(
+        scenario_id=scenario_id,
+        title=title,
+        family="figures",
+        workload=workload,
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        variants=(
+            VariantSpec("throttled", ConfigOverrides(throttling=True)),
+            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
+        ),
+        expect=(
+            Expectation("completed", ">", 0, variant="throttled"),
+            Expectation("improvement", ">", 0.0),
+        ),
+        render="comparison",
+        description="Successful completions per bucket, throttled vs "
+                    "un-throttled (paper Figures 3-5).")
+
+
+@register_scenario
+def _fig1() -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id="fig1",
+        title="Figure 1: the memory-monitor ladder",
+        family="figures",
+        kind="monitors",
+        workload="sales",
+        clients=1,
+        render="monitors",
+        description="Renders the small/medium/big gateway ladder of a "
+                    "freshly booted paper server.")
+
+
+@register_scenario
+def _fig2() -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id="fig2",
+        title="Figure 2: compilation-throttling trace",
+        family="figures",
+        kind="trace",
+        workload="sales",
+        workload_params={"background": 24, "fast_factor": 4.0},
+        clients=24,
+        seed=3,
+        expect=(Expectation("plateau_total", ">=", 1),),
+        render="trace",
+        description="Three staggered compilations under pressure; the "
+                    "flat stretches are gateway blocking plateaus.")
+
+
+for _figure_clients in FIGURE_CLIENTS.values():
+    register_scenario(throughput_scenario(_figure_clients))
+
+
+# ----------------------------------------------------------- ablations
+def gateway_ablation_scenario(clients: int = 30, preset: str = "smoke",
+                              seed: int = 1) -> ScenarioSpec:
+    """ABL-GATES: 0, 1, 2 and 3 monitors."""
+    return ScenarioSpec(
+        scenario_id="abl-gates",
+        title="ABL-GATES: monitor-count ablation",
+        family="ablations",
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        variants=tuple(
+            VariantSpec(f"{n}_monitors", ConfigOverrides(gateway_count=n))
+            for n in (0, 1, 2, 3)),
+        expect=(Expectation("completed", ">", 0, variant="3_monitors"),),
+        description="Sweeps the ladder length; the paper reports the "
+                    "multi-monitor split gives the best balance.")
+
+
+def dynamic_ablation_scenario(clients: int = 35, preset: str = "smoke",
+                              seed: int = 1) -> ScenarioSpec:
+    """ABL-DYN: static vs broker-driven thresholds."""
+    return ScenarioSpec(
+        scenario_id="abl-dyn",
+        title="ABL-DYN: static vs dynamic thresholds",
+        family="ablations",
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        variants=(
+            VariantSpec("static",
+                        ConfigOverrides(dynamic_thresholds=False)),
+            VariantSpec("dynamic",
+                        ConfigOverrides(dynamic_thresholds=True)),
+        ),
+        expect=(Expectation("completed", ">", 0, variant="dynamic"),),
+        description="Extension (a): thresholds derived from the "
+                    "broker's compilation target vs the static ladder.")
+
+
+def best_plan_ablation_scenario(clients: int = 40, preset: str = "smoke",
+                                seed: int = 1) -> ScenarioSpec:
+    """ABL-BPSF: best-plan-so-far on/off."""
+    return ScenarioSpec(
+        scenario_id="abl-bpsf",
+        title="ABL-BPSF: best-plan-so-far vs hard OOM",
+        family="ablations",
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        variants=(
+            VariantSpec("hard_oom",
+                        ConfigOverrides(best_plan_so_far=False)),
+            VariantSpec("best_plan",
+                        ConfigOverrides(best_plan_so_far=True)),
+        ),
+        expect=(
+            Expectation("errors.compile_oom", "==", 0,
+                        variant="best_plan"),
+        ),
+        description="Extension (b): degrade to the best already-"
+                    "explored plan instead of failing out of memory.")
+
+
+#: legacy ablation name -> (flat-suite prefix, builder) — the single
+#: source for ablate_* shims and the engine's flat ablation suite
+ABLATION_SCENARIOS = (
+    ("gateway_count", "gates", gateway_ablation_scenario),
+    ("dynamic_thresholds", "dyn", dynamic_ablation_scenario),
+    ("best_plan_so_far", "bpsf", best_plan_ablation_scenario),
+)
+
+for _, _, _builder in ABLATION_SCENARIOS:
+    register_scenario(_builder())
+
+
+# ---------------------------------------------------------- saturation
+def saturation_scenario(clients: Sequence[int] = (5, 15, 30, 40),
+                        preset: str = "smoke", seed: int = 3,
+                        workload: str = "sales") -> ScenarioSpec:
+    """CLAIM-SAT: the client-count saturation sweep."""
+    counts: Tuple[int, ...] = tuple(dict.fromkeys(clients))
+    return ScenarioSpec(
+        scenario_id="saturation",
+        title="CLAIM-SAT: client saturation sweep",
+        family="saturation",
+        workload=workload,
+        clients=max(counts),
+        preset=preset,
+        seed=seed,
+        variants=tuple(VariantSpec(f"sat_{c}c", clients=c)
+                       for c in counts),
+        expect=(Expectation("total_completed", ">", 0),),
+        description="Throughput by client count; the paper's knee sits "
+                    "near 30 clients.")
+
+
+register_scenario(saturation_scenario())
+
+
+# --------------------------------------------------- mixed (new family)
+@register_scenario
+def _mixed_rush() -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id="mixed-rush",
+        title="Mixed rush hour: OLTP + ad-hoc TPC-H",
+        family="mixed",
+        workload="mixed",
+        workload_params={"tpch_fraction": 0.3},
+        clients=24,
+        variants=(
+            VariantSpec("throttled", ConfigOverrides(throttling=True)),
+            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
+        ),
+        expect=(Expectation("completed", ">", 0, variant="throttled"),),
+        render="comparison",
+        description="Small transactional queries co-located with heavy "
+                    "analytic compilations; the ladder should keep the "
+                    "OLTP class responsive.")
+
+
+@register_scenario
+def _mixed_analytic() -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id="mixed-analytic",
+        title="Analytic-heavy mix (60% TPC-H)",
+        family="mixed",
+        workload="mixed",
+        workload_params={"tpch_fraction": 0.6},
+        clients=16,
+        variants=(
+            VariantSpec("throttled", ConfigOverrides(throttling=True)),
+            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
+        ),
+        expect=(Expectation("total_completed", ">", 0),),
+        render="comparison",
+        description="The same co-location stress with the analytic "
+                    "share dominating.")
+
+
+# -------------------------------------------------- memory (new family)
+@register_scenario
+def _memory_ramp() -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id="mem-ramp",
+        title="Memory-pressure ramp: 4 GiB to 1 GiB",
+        family="memory",
+        workload="sales",
+        clients=24,
+        variants=(
+            VariantSpec("mem_4g"),
+            VariantSpec("mem_2g",
+                        ConfigOverrides(physical_memory=2 * GiB)),
+            VariantSpec("mem_1g",
+                        ConfigOverrides(physical_memory=1 * GiB)),
+        ),
+        expect=(
+            Expectation("completed", ">", 0, variant="mem_4g"),
+            Expectation("total_completed", ">", 0),
+        ),
+        description="The paper's testbed shrunk to half and a quarter "
+                    "of its RAM: throttling has to work harder as the "
+                    "broker's compile target collapses.")
+
+
+# -------------------------------------------------- ladder (new family)
+@register_scenario
+def _ladder_load() -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id="ladder-load",
+        title="Gateway-ladder sweep across load levels",
+        family="ladder",
+        workload="sales",
+        clients=30,
+        variants=(
+            VariantSpec("full_15c", ConfigOverrides(gateway_count=3),
+                        clients=15),
+            VariantSpec("small_only_15c",
+                        ConfigOverrides(gateway_count=1), clients=15),
+            VariantSpec("full_30c", ConfigOverrides(gateway_count=3),
+                        clients=30),
+            VariantSpec("small_only_30c",
+                        ConfigOverrides(gateway_count=1), clients=30),
+        ),
+        expect=(Expectation("total_completed", ">", 0),),
+        description="How much of the ladder is needed as load grows: "
+                    "the single small monitor vs the full "
+                    "small/medium/big ladder at 15 and 30 clients.")

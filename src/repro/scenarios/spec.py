@@ -1,0 +1,369 @@
+"""The declarative scenario specification.
+
+A :class:`ScenarioSpec` is the one currency every experiment surface
+consumes: the CLI (``repro scenarios …`` and the legacy ``figure`` /
+``sweep`` / ``ablation`` commands), the parallel experiment engine, the
+benchmark suite and user-authored JSON files all describe a run as one
+frozen, validated, round-trippable value.  Adding a scenario is a data
+change, not a code change.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional, Tuple
+
+from repro.config import ServerConfig, default_gateways, paper_server_config
+from repro.errors import ConfigurationError
+
+#: comparison operators an Expectation may use
+EXPECTATION_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+#: what a scenario *is*: an engine batch, a configuration rendering
+#: (Figure 1's monitor ladder) or a compilation-memory trace (Figure 2)
+SCENARIO_KINDS = ("experiment", "monitors", "trace")
+
+#: how an experiment scenario renders its batch
+RENDER_STYLES = ("table", "comparison", "monitors", "trace")
+
+
+def _valid_workloads() -> Tuple[str, ...]:
+    from repro.experiments.runner import WORKLOAD_FACTORIES
+
+    return tuple(sorted(WORKLOAD_FACTORIES))
+
+
+def _valid_presets() -> Tuple[str, ...]:
+    from repro.experiments.runner import PRESETS
+
+    return tuple(sorted(PRESETS))
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One metric assertion checked after a scenario runs.
+
+    ``variant`` names the run the metric comes from; ``None`` reads the
+    scenario-level aggregate metrics (``total_completed``,
+    ``improvement``, …).  ``errors.<kind>`` metrics default to 0 when
+    the error kind never occurred.
+    """
+
+    metric: str
+    op: str
+    value: float
+    variant: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.metric:
+            raise ConfigurationError("expectation metric must be non-empty")
+        if self.op not in EXPECTATION_OPS:
+            raise ConfigurationError(
+                f"unknown expectation op {self.op!r}; valid ops: "
+                f"{', '.join(EXPECTATION_OPS)}")
+        if isinstance(self.value, bool) \
+                or not isinstance(self.value, (int, float)):
+            raise ConfigurationError(
+                f"expectation value must be a number, "
+                f"got {self.value!r}")
+
+    def holds(self, actual: float) -> bool:
+        return EXPECTATION_OPS[self.op](actual, self.value)
+
+    def describe(self) -> str:
+        where = f"{self.variant}." if self.variant else ""
+        return f"{where}{self.metric} {self.op} {self.value:g}"
+
+    def to_dict(self) -> dict:
+        doc = {"metric": self.metric, "op": self.op, "value": self.value}
+        if self.variant is not None:
+            doc["variant"] = self.variant
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Expectation":
+        return cls(**_checked_kwargs(cls, doc, "expectation"))
+
+
+@dataclass(frozen=True)
+class ConfigOverrides:
+    """Server-config deltas a variant applies on top of the paper config.
+
+    Every field defaults to ``None`` (= keep the paper value), so a
+    spec only states what it changes — the ablation toggles, hardware
+    shrinks and broker switches the paper reports tuning.
+    """
+
+    throttling: Optional[bool] = None
+    #: restrict the ladder to its first N monitors (0 = throttle off)
+    gateway_count: Optional[int] = None
+    dynamic_thresholds: Optional[bool] = None
+    best_plan_so_far: Optional[bool] = None
+    broker_enabled: Optional[bool] = None
+    physical_memory: Optional[int] = None
+    cpus: Optional[int] = None
+
+    def __post_init__(self):
+        if self.gateway_count is not None \
+                and not 0 <= self.gateway_count <= 3:
+            raise ConfigurationError("gateway_count must be 0..3")
+        if self.physical_memory is not None and self.physical_memory <= 0:
+            raise ConfigurationError("physical_memory must be positive")
+        if self.cpus is not None and self.cpus <= 0:
+            raise ConfigurationError("cpus must be positive")
+
+    def is_noop(self) -> bool:
+        return all(getattr(self, f.name) is None for f in fields(self))
+
+    def only_toggles_throttling(self) -> bool:
+        """True when the delta is expressible by the ``throttling`` flag
+        alone (such variants need no ServerConfig override object)."""
+        return all(getattr(self, f.name) is None for f in fields(self)
+                   if f.name != "throttling")
+
+    def apply(self, base: Optional[ServerConfig] = None) -> ServerConfig:
+        cfg = base if base is not None else paper_server_config()
+        if self.physical_memory is not None or self.cpus is not None:
+            hardware = cfg.hardware
+            if self.physical_memory is not None:
+                hardware = replace(hardware,
+                                   physical_memory=self.physical_memory)
+            if self.cpus is not None:
+                hardware = replace(hardware, cpus=self.cpus)
+            cfg = replace(cfg, hardware=hardware)
+        if self.gateway_count is not None:
+            if self.gateway_count == 0:
+                cfg = cfg.with_throttling(False)
+            else:
+                cfg = replace(cfg, throttle=replace(
+                    cfg.throttle, enabled=True,
+                    gateways=default_gateways()[:self.gateway_count]))
+        if self.dynamic_thresholds is not None:
+            cfg = replace(cfg, throttle=replace(
+                cfg.throttle, dynamic_thresholds=self.dynamic_thresholds))
+        if self.best_plan_so_far is not None:
+            cfg = replace(cfg, throttle=replace(
+                cfg.throttle, best_plan_so_far=self.best_plan_so_far))
+        if self.broker_enabled is not None:
+            cfg = replace(cfg, broker=replace(
+                cfg.broker, enabled=self.broker_enabled))
+        if self.throttling is not None:
+            cfg = cfg.with_throttling(self.throttling)
+        return cfg
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if getattr(self, f.name) is not None}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ConfigOverrides":
+        return cls(**_checked_kwargs(cls, doc, "overrides"))
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One named run of a scenario (a point of its sweep/comparison)."""
+
+    name: str
+    overrides: ConfigOverrides = field(default_factory=ConfigOverrides)
+    #: per-variant client count (None = the scenario's)
+    clients: Optional[int] = None
+    #: per-variant think time (None = the scenario's)
+    think_time: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ConfigurationError(
+                f"variant name {self.name!r} must be non-empty with no "
+                f"whitespace")
+        if self.clients is not None and self.clients < 1:
+            raise ConfigurationError("variant clients must be >= 1")
+
+    def to_dict(self) -> dict:
+        doc: dict = {"name": self.name}
+        overrides = self.overrides.to_dict()
+        if overrides:
+            doc["overrides"] = overrides
+        if self.clients is not None:
+            doc["clients"] = self.clients
+        if self.think_time is not None:
+            doc["think_time"] = self.think_time
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "VariantSpec":
+        kwargs = _checked_kwargs(cls, doc, "variant")
+        overrides = kwargs.get("overrides")
+        if isinstance(overrides, dict):
+            kwargs["overrides"] = ConfigOverrides.from_dict(overrides)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described scenario (see module docstring)."""
+
+    scenario_id: str
+    title: str
+    family: str
+    kind: str = "experiment"
+    workload: str = "sales"
+    #: kind-dependent parameters, canonicalized to a sorted tuple of
+    #: pairs so specs stay hashable and round-trippable: for
+    #: ``experiment`` scenarios these are extra workload-factory
+    #: keyword arguments (validated at construction); ``monitors`` /
+    #: ``trace`` scenarios pass them to the figure renderer instead
+    workload_params: Tuple[Tuple[str, object], ...] = ()
+    clients: int = 30
+    preset: str = "smoke"
+    seed: int = 3
+    think_time: float = 15.0
+    variants: Tuple[VariantSpec, ...] = (VariantSpec("run"),)
+    expect: Tuple[Expectation, ...] = ()
+    render: str = "table"
+    description: str = ""
+
+    def __post_init__(self):
+        # canonicalize collection fields so equality is structural
+        object.__setattr__(self, "variants", tuple(self.variants))
+        object.__setattr__(self, "expect", tuple(self.expect))
+        params = self.workload_params
+        if isinstance(params, dict):
+            params = params.items()
+        object.__setattr__(self, "workload_params",
+                           tuple(sorted((str(k), v) for k, v in params)))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.scenario_id or any(c.isspace() for c in self.scenario_id):
+            raise ConfigurationError(
+                f"scenario_id {self.scenario_id!r} must be non-empty with "
+                f"no whitespace")
+        if not self.title:
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} needs a title")
+        if not self.family:
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} needs a family")
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigurationError(
+                f"unknown scenario kind {self.kind!r}; valid kinds: "
+                f"{', '.join(SCENARIO_KINDS)}")
+        if self.render not in RENDER_STYLES:
+            raise ConfigurationError(
+                f"unknown render style {self.render!r}; valid styles: "
+                f"{', '.join(RENDER_STYLES)}")
+        workloads = _valid_workloads()
+        if self.workload not in workloads:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; valid workloads: "
+                f"{', '.join(workloads)}")
+        if self.kind == "experiment" and self.workload_params:
+            # fail at definition time, not after an expensive run:
+            # instantiating the factory validates the parameter names
+            from repro.experiments.runner import make_workload
+
+            make_workload(self.workload, **dict(self.workload_params))
+        presets = _valid_presets()
+        if self.preset not in presets:
+            raise ConfigurationError(
+                f"unknown preset {self.preset!r}; valid presets: "
+                f"{', '.join(presets)}")
+        if self.clients < 1:
+            raise ConfigurationError("clients must be >= 1")
+        if not self.variants:
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} needs at least one variant")
+        names = [v.name for v in self.variants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} has duplicate variant "
+                f"names: {names}")
+        for expectation in self.expect:
+            if expectation.variant is not None \
+                    and expectation.variant not in names:
+                raise ConfigurationError(
+                    f"expectation {expectation.describe()!r} references "
+                    f"unknown variant {expectation.variant!r} "
+                    f"(variants: {', '.join(names)})")
+
+    # ------------------------------------------------------------ API
+    def customized(self, preset: Optional[str] = None,
+                   seed: Optional[int] = None,
+                   clients: Optional[int] = None) -> "ScenarioSpec":
+        """A copy with CLI-style overrides applied (and re-validated).
+
+        A ``clients`` override takes effect for every variant,
+        including those carrying their own per-variant count.
+        """
+        spec = self
+        if clients is not None and any(v.clients is not None
+                                       for v in spec.variants):
+            spec = replace(spec, variants=tuple(
+                replace(v, clients=None) for v in spec.variants))
+        updates: Dict[str, object] = {}
+        if preset is not None:
+            updates["preset"] = preset
+        if seed is not None:
+            updates["seed"] = seed
+        if clients is not None:
+            updates["clients"] = clients
+        return replace(spec, **updates) if updates else spec
+
+    def variant_names(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self.variants)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_id": self.scenario_id,
+            "title": self.title,
+            "family": self.family,
+            "kind": self.kind,
+            "workload": self.workload,
+            "workload_params": dict(self.workload_params),
+            "clients": self.clients,
+            "preset": self.preset,
+            "seed": self.seed,
+            "think_time": self.think_time,
+            "variants": [v.to_dict() for v in self.variants],
+            "expect": [e.to_dict() for e in self.expect],
+            "render": self.render,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ScenarioSpec":
+        kwargs = _checked_kwargs(cls, doc, "scenario")
+        variants = kwargs.get("variants")
+        if variants is not None:
+            kwargs["variants"] = tuple(
+                VariantSpec.from_dict(v) if isinstance(v, dict) else v
+                for v in variants)
+        expectations = kwargs.get("expect")
+        if expectations is not None:
+            kwargs["expect"] = tuple(
+                Expectation.from_dict(e) if isinstance(e, dict) else e
+                for e in expectations)
+        return cls(**kwargs)
+
+
+def _checked_kwargs(cls, doc: dict, what: str) -> dict:
+    """Reject unknown keys with a ConfigurationError naming them."""
+    if not isinstance(doc, dict):
+        raise ConfigurationError(f"{what} must be a JSON object, "
+                                 f"got {type(doc).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {what} field(s) {', '.join(unknown)}; valid "
+            f"fields: {', '.join(sorted(known))}")
+    return dict(doc)

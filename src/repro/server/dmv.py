@@ -125,6 +125,8 @@ class ServerViews:
             "plan_cache_hit_rate": server.plan_cache.hit_rate(),
             "active_compilations": server.pipeline.active,
             "degraded_plans": server.pipeline.degraded_plans,
+            "search_replays": server.pipeline.search_replays,
+            "soft_denials": server.pipeline.soft_denials,
             "broker_pressure": float(server.broker.under_pressure),
             "broker_sweeps": server.broker.sweeps,
         }
@@ -153,6 +155,13 @@ class ServerViews:
             f"\ngrant queue: {format_bytes(grant.outstanding_bytes)} of "
             f"{format_bytes(grant.capacity_bytes)} outstanding, "
             f"{grant.waiting} waiting, {grant.timeouts} timeouts")
+
+        pipeline = self.server.pipeline
+        parts.append(
+            f"\ncompilation counters: {pipeline.compilations} compiled, "
+            f"{pipeline.degraded_plans} degraded, "
+            f"{pipeline.search_replays} search replays, "
+            f"{pipeline.soft_denials} soft denials")
 
         compiles = self.compilations()
         if compiles:

@@ -12,11 +12,13 @@ from repro.workload.base import Workload, WorkloadQuery
 from repro.workload.sales import SalesWorkload
 from repro.workload.tpch import TpchWorkload
 from repro.workload.oltp import OltpWorkload
+from repro.workload.mixed import MixedWorkload
 from repro.workload.loadgen import ClientStats, LoadGenerator
 
 __all__ = [
     "ClientStats",
     "LoadGenerator",
+    "MixedWorkload",
     "OltpWorkload",
     "SalesWorkload",
     "TpchWorkload",

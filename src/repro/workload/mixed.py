@@ -1,0 +1,43 @@
+"""A mixed OLTP + TPC-H workload.
+
+The paper's production motivation is a server that serves small
+transactional queries *while* heavy analytic compilations are in
+flight — the ladder exists precisely so the small class stays
+responsive.  This workload reproduces that co-location directly: one
+catalog holding both schemas, with each generated query drawn from the
+OLTP mix or the TPC-H mix by a configurable fraction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.catalog import Catalog
+from repro.workload.base import Workload, WorkloadQuery
+from repro.workload.oltp import OltpWorkload
+from repro.workload.tpch import TpchWorkload
+
+
+class MixedWorkload(Workload):
+    """OLTP point lookups interleaved with ad-hoc TPC-H analytics."""
+
+    name = "mixed"
+
+    def __init__(self, scale: float = 1.0, tpch_fraction: float = 0.3):
+        super().__init__(scale)
+        if not 0.0 <= tpch_fraction <= 1.0:
+            raise ValueError("tpch_fraction must be in [0, 1]")
+        self.tpch_fraction = float(tpch_fraction)
+        self._oltp = OltpWorkload(scale=scale)
+        # analytic queries arrive ad hoc (uniquified text), like SALES
+        self._tpch = TpchWorkload(scale=scale, adhoc=True)
+
+    def build_catalog(self) -> Catalog:
+        catalog = self._oltp.build_catalog()
+        catalog.merge_from(self._tpch.build_catalog())
+        return catalog
+
+    def generate(self, rng: random.Random) -> WorkloadQuery:
+        if rng.random() < self.tpch_fraction:
+            return self._tpch.generate(rng)
+        return self._oltp.generate(rng)

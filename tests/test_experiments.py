@@ -51,8 +51,24 @@ def test_make_workload_by_name():
     assert make_workload("sales").name == "sales"
     assert make_workload("tpch").name == "tpch"
     assert make_workload("oltp").name == "oltp"
-    with pytest.raises(ConfigurationError):
+    assert make_workload("mixed", tpch_fraction=0.5).name == "mixed"
+    with pytest.raises(ConfigurationError) as excinfo:
         make_workload("nope")
+    # the error teaches the valid names instead of a bare KeyError
+    assert "sales" in str(excinfo.value)
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_workload("tpch", bogus_param=1)
+    assert "tpch" in str(excinfo.value)
+
+
+def test_unknown_preset_is_a_configuration_error():
+    from repro.experiments.runner import get_preset
+
+    with pytest.raises(ConfigurationError) as excinfo:
+        get_preset("warp-speed")
+    assert "smoke" in str(excinfo.value)
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(preset="warp-speed").build_server_config()
 
 
 def test_build_server_config_applies_preset_and_throttle():
@@ -132,10 +148,45 @@ def test_engine_parallel_matches_serial(tmp_path):
     assert os.path.basename(path) == "BENCH_unit.json"
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    assert doc["schema"] == 1
+    assert doc["schema"] == 2
     assert set(doc["results"]) == {"a", "b"}
     assert doc["results"]["a"]["completed"] == serial.results["a"].completed
     assert doc["errors"] == {}
+
+
+@pytest.mark.slow
+def test_shared_searches_replay_without_changing_results():
+    """Seeding a run from another run's recorded searches replays them
+    (wall-clock win) but leaves every simulated number untouched."""
+    import pickle
+
+    config = tiny_config(workload="sales", clients=2, seed=9)
+    baseline = run_experiment(config)
+    pool = {}
+    first = run_experiment(config, shared_searches=pool)
+    second = run_experiment(config, shared_searches=pool)
+    for seeded in (first, second):
+        assert seeded.completed == baseline.completed
+        assert seeded.failed == baseline.failed
+        assert seeded.error_counts == baseline.error_counts
+        assert seeded.degraded == baseline.degraded
+        assert seeded.throughput == baseline.throughput
+    assert second.search_replays > first.search_replays
+    # recordings must survive the process boundary (engine pool path)
+    assert pickle.loads(pickle.dumps(pool))
+
+
+@pytest.mark.slow
+def test_engine_shares_searches_across_jobs():
+    """A job repeating another job's config replays its searches."""
+    jobs = [ExperimentJob("first", tiny_config(seed=4)),
+            ExperimentJob("again", tiny_config(seed=4))]
+    batch = run_jobs(jobs, workers=1)
+    assert batch.ok
+    assert (batch.results["again"].completed
+            == batch.results["first"].completed)
+    assert (batch.results["again"].search_replays
+            > batch.results["first"].search_replays)
 
 
 @pytest.mark.slow

@@ -1,0 +1,355 @@
+"""Tests for the declarative scenario API.
+
+Covers spec round-tripping, validation, the registry, lowering to
+engine jobs, expectation evaluation, the CLI subcommands and (slow) a
+smoke run of every registered scenario plus legacy/scenario CLI
+byte-identity.
+"""
+
+import json
+
+import pytest
+
+from repro.config import paper_server_config
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    config_with_best_plan,
+    config_with_dynamic,
+    config_with_gateways,
+)
+from repro.scenarios import (
+    ConfigOverrides,
+    Expectation,
+    ScenarioSpec,
+    VariantSpec,
+    get_scenario,
+    jobs_for_scenario,
+    list_scenarios,
+    load_scenario_file,
+    register_scenario,
+    run_scenario,
+    scenario_families,
+    scenario_ids,
+    unregister_scenario,
+)
+from repro.scenarios.facade import evaluate_expectations
+from repro import cli
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        scenario_id="tiny",
+        title="Tiny test scenario",
+        family="test",
+        workload="oltp",
+        clients=2,
+        preset="smoke",
+        seed=1,
+        think_time=5.0,
+        variants=(
+            VariantSpec("throttled", ConfigOverrides(throttling=True)),
+            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
+        ),
+        expect=(Expectation("completed", ">", 0, variant="throttled"),),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+# ------------------------------------------------------------ the spec
+def test_spec_roundtrips_through_dict():
+    spec = tiny_spec(workload_params={"scale": 0.5})
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    # and through actual JSON text
+    assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) \
+        == spec
+
+
+def test_every_registered_scenario_roundtrips():
+    for spec in list_scenarios():
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec, \
+            spec.scenario_id
+
+
+def test_spec_validation_rejects_bad_values():
+    with pytest.raises(ConfigurationError, match="valid presets"):
+        tiny_spec(preset="warp-speed")
+    with pytest.raises(ConfigurationError, match="valid workloads"):
+        tiny_spec(workload="nope")
+    with pytest.raises(ConfigurationError, match="duplicate variant"):
+        tiny_spec(variants=(VariantSpec("a"), VariantSpec("a")))
+    with pytest.raises(ConfigurationError, match="unknown variant"):
+        tiny_spec(expect=(Expectation("completed", ">", 0,
+                                      variant="missing"),))
+    with pytest.raises(ConfigurationError, match="valid ops"):
+        Expectation("completed", "~", 0)
+    with pytest.raises(ConfigurationError, match="must be a number"):
+        Expectation("completed", ">", "10")
+    with pytest.raises(ConfigurationError, match="bad parameters"):
+        tiny_spec(workload_params={"bogus_param": 1})
+    with pytest.raises(ConfigurationError, match="bad parameters"):
+        tiny_spec(workload="mixed",
+                  workload_params={"tpch_fraction": 2.0})
+    with pytest.raises(ConfigurationError, match="kind"):
+        tiny_spec(kind="interpretive-dance")
+    with pytest.raises(ConfigurationError, match="unknown scenario field"):
+        ScenarioSpec.from_dict({"scenario_id": "x", "title": "x",
+                                "family": "x", "bogus": 1})
+
+
+def test_spec_customized_applies_overrides():
+    spec = tiny_spec()
+    custom = spec.customized(preset="scaled", seed=42, clients=7)
+    assert (custom.preset, custom.seed, custom.clients) == ("scaled", 42, 7)
+    # per-variant client counts yield to an explicit override
+    sweep = tiny_spec(variants=(VariantSpec("a", clients=5),
+                                VariantSpec("b", clients=9)),
+                      expect=())
+    clamped = sweep.customized(clients=2)
+    for job in jobs_for_scenario(clamped):
+        assert job.config.clients == 2
+    # no overrides = the same spec
+    assert spec.customized() == spec
+
+
+def test_overrides_match_legacy_ablation_configs():
+    """ConfigOverrides.apply must produce exactly the ServerConfigs the
+    legacy ablation helpers built — that is what keeps scenario runs
+    byte-identical to the legacy commands."""
+    for count in (0, 1, 2, 3):
+        assert ConfigOverrides(gateway_count=count).apply() \
+            == config_with_gateways(count)
+    for dynamic in (False, True):
+        assert ConfigOverrides(dynamic_thresholds=dynamic).apply() \
+            == config_with_dynamic(dynamic)
+    for enabled in (False, True):
+        assert ConfigOverrides(best_plan_so_far=enabled).apply() \
+            == config_with_best_plan(enabled)
+
+
+def test_overrides_hardware_and_broker():
+    cfg = ConfigOverrides(physical_memory=1 << 30, cpus=4,
+                          broker_enabled=False).apply()
+    assert cfg.hardware.physical_memory == 1 << 30
+    assert cfg.hardware.cpus == 4
+    assert not cfg.broker.enabled
+    assert ConfigOverrides().apply() == paper_server_config()
+
+
+# ------------------------------------------------------------ registry
+def test_registry_rejects_duplicate_ids():
+    spec = tiny_spec(scenario_id="test-dup")
+    register_scenario(spec)
+    try:
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scenario(tiny_spec(scenario_id="test-dup"))
+    finally:
+        unregister_scenario("test-dup")
+
+
+def test_registry_catalogue_is_complete():
+    ids = scenario_ids()
+    # every paper artifact is a registered scenario ...
+    for required in ("fig1", "fig2", "fig3", "fig4", "fig5",
+                     "abl-gates", "abl-dyn", "abl-bpsf", "saturation"):
+        assert required in ids
+    # ... plus at least three scenario families the seed never had
+    families = scenario_families()
+    for new_family in ("mixed", "memory", "ladder"):
+        assert new_family in families
+    for spec in list_scenarios():
+        assert spec.scenario_id == get_scenario(spec.scenario_id).scenario_id
+
+
+def test_unknown_scenario_lists_registered_ids():
+    with pytest.raises(ConfigurationError, match="fig3"):
+        get_scenario("nope")
+
+
+# ------------------------------------------------------------ lowering
+def test_jobs_for_scenario_lowering():
+    jobs = jobs_for_scenario(tiny_spec(), prefix="t_")
+    assert [j.name for j in jobs] == ["t_throttled", "t_unthrottled"]
+    assert jobs[0].config.throttling and not jobs[1].config.throttling
+    # throttling-only variants need no ServerConfig override object
+    assert jobs[0].config.server_overrides is None
+    rich = jobs_for_scenario(tiny_spec(variants=(
+        VariantSpec("small", ConfigOverrides(gateway_count=1)),),
+        expect=()))
+    assert rich[0].config.server_overrides is not None
+    with pytest.raises(ConfigurationError, match="monitors"):
+        jobs_for_scenario(get_scenario("fig1"))
+
+
+# -------------------------------------------------------- expectations
+def test_expectation_evaluation():
+    spec = tiny_spec(expect=(
+        Expectation("completed", ">", 10, variant="throttled"),
+        Expectation("errors.compile_oom", "==", 0, variant="throttled"),
+        Expectation("improvement", ">=", 0.5),
+        Expectation("completed", ">", 0, variant="unthrottled"),
+    ))
+    variant_metrics = {"throttled": {"completed": 30.0}}
+    scenario_metrics = {"improvement": 0.4}
+    checks = evaluate_expectations(spec, variant_metrics, scenario_metrics)
+    assert [c.passed for c in checks] == [True, True, False, False]
+    # absent error kinds read as zero; absent variants fail the check
+    assert checks[1].actual == 0.0
+    assert checks[3].actual is None
+    assert "FAIL" in checks[2].describe()
+    assert "PASS" in checks[0].describe()
+
+
+def test_scenario_level_error_metrics_aggregate_across_variants():
+    from repro.scenarios.facade import _aggregate_metrics
+
+    spec = tiny_spec(expect=())
+    aggregate = _aggregate_metrics(spec, {
+        "throttled": {"completed": 10.0, "errors.compile_oom": 3.0},
+        "unthrottled": {"completed": 5.0, "errors.compile_oom": 7.0,
+                        "errors.gateway_timeout": 1.0},
+    })
+    assert aggregate["errors.compile_oom"] == 10.0
+    assert aggregate["errors.gateway_timeout"] == 1.0
+    # a scenario-level errors check now sees real totals, not a
+    # silently-passing zero default
+    checks = evaluate_expectations(
+        tiny_spec(expect=(Expectation("errors.compile_oom", "==", 0),)),
+        {}, aggregate)
+    assert not checks[0].passed
+
+
+def test_scenario_artifact_serializes_non_finite_metrics(tmp_path):
+    from repro.scenarios import write_scenario_artifact
+    from repro.scenarios.facade import ScenarioResult
+
+    result = ScenarioResult(spec=tiny_spec(expect=()), batch=None,
+                            scenario_metrics={"improvement": float("inf")})
+    path = write_scenario_artifact(str(tmp_path), result)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    assert "Infinity" not in text
+    assert json.loads(text)["scenario_metrics"]["improvement"] == "inf"
+
+
+# ----------------------------------------------------------------- CLI
+def test_cli_scenarios_list_and_describe(capsys):
+    assert cli.main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    for scenario_id in ("fig3", "mixed-rush", "mem-ramp", "ladder-load"):
+        assert scenario_id in out
+
+    assert cli.main(["scenarios", "list", "--family", "mixed"]) == 0
+    out = capsys.readouterr().out
+    assert "mixed-rush" in out and "fig3" not in out
+
+    assert cli.main(["scenarios", "describe", "fig3"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert ScenarioSpec.from_dict(doc) == get_scenario("fig3")
+
+
+def test_cli_error_handling(capsys):
+    assert cli.main(["scenarios", "describe", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "fig3" in err
+    assert cli.main(["scenarios", "run"]) == 2
+    err = capsys.readouterr().err
+    assert "nothing to run" in err
+    assert cli.main(["scenarios", "run", "--family", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "mixed" in err
+
+
+def test_cli_rejects_bad_scenario_file(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json", encoding="utf-8")
+    assert cli.main(["scenarios", "run", "--scenario", str(path)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+    path = tmp_path / "bad_field.json"
+    path.write_text(json.dumps({"scenario_id": "x", "title": "x",
+                                "family": "x", "bogus": 1}),
+                    encoding="utf-8")
+    assert cli.main(["scenarios", "run", "--scenario", str(path)]) == 2
+    assert "bogus" in capsys.readouterr().err
+
+
+def test_cli_monitors_scenario(capsys):
+    assert cli.main(["scenarios", "run", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "small" in out and "big" in out
+
+
+# ------------------------------------------------------------ running
+@pytest.mark.slow
+def test_run_scenario_from_json_file(tmp_path):
+    doc = {
+        "scenario_id": "user-tiny",
+        "title": "User-authored tiny scenario",
+        "family": "user",
+        "workload": "oltp",
+        "clients": 2,
+        "preset": "smoke",
+        "seed": 1,
+        "think_time": 5.0,
+        "variants": [
+            {"name": "run", "overrides": {"throttling": True}},
+        ],
+        "expect": [{"metric": "completed", "op": ">", "value": 0,
+                    "variant": "run"}],
+    }
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    spec = load_scenario_file(str(path))
+    result = run_scenario(spec)
+    assert result.ok
+    assert result.batch.ok
+    assert result.variant_metrics["run"]["completed"] > 0
+    assert all(check.passed for check in result.checks)
+    assert "check PASS" in result.render()
+
+
+@pytest.mark.slow
+def test_scenario_artifact_roundtrips(tmp_path):
+    from repro.scenarios import write_scenario_artifact
+
+    result = run_scenario(tiny_spec())
+    path = write_scenario_artifact(str(tmp_path), result)
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["schema"] == 2
+    assert ScenarioSpec.from_dict(doc["spec"]) == tiny_spec()
+    assert set(doc["results"]) == {"throttled", "unthrottled"}
+    assert doc["results"]["throttled"]["completed"] > 0
+
+
+@pytest.mark.slow
+def test_every_registered_scenario_smoke_runs():
+    """Every catalogue entry must at least run under the smoke preset.
+
+    Client counts are clamped so the sweep stays test-sized; the
+    registered counts run nightly at paper fidelity.
+    """
+    for spec in list_scenarios():
+        runnable = spec.customized(preset="smoke", clients=2) \
+            if spec.kind == "experiment" else spec
+        result = run_scenario(runnable)
+        assert result.body, spec.scenario_id
+        if result.batch is not None:
+            assert result.batch.ok, \
+                f"{spec.scenario_id}: {result.batch.errors}"
+            assert set(result.batch.results) == set(spec.variant_names())
+
+
+@pytest.mark.slow
+def test_legacy_cli_is_byte_identical_to_scenarios_run(capsys):
+    """`repro ablation dynamic` and `repro scenarios run abl-dyn` are
+    the same spec through the same facade — identical output bytes."""
+    assert cli.main(["ablation", "dynamic", "--clients", "2",
+                     "--preset", "smoke", "--seed", "3"]) == 0
+    legacy = capsys.readouterr().out
+    assert cli.main(["scenarios", "run", "abl-dyn", "--clients", "2",
+                     "--preset", "smoke", "--seed", "3"]) == 0
+    scenarios = capsys.readouterr().out
+    assert legacy == scenarios
+    assert "abl-dyn" in legacy

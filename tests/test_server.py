@@ -27,6 +27,20 @@ def test_single_query_end_to_end():
     assert outcome.output_rows > 0
 
 
+def test_dmv_summary_surfaces_pipeline_counters():
+    """Scenario assertions read search_replays/soft_denials from the
+    DMV summary; the rendered report carries them too."""
+    server = make_server()
+    server.execute_sync(STAR_QUERY)
+    summary = server.views().summary()
+    for counter in ("search_replays", "soft_denials",
+                    "degraded_plans", "active_compilations"):
+        assert counter in summary
+    report = server.views().report()
+    assert "search replays" in report
+    assert "soft denials" in report
+
+
 def test_plan_cache_hit_on_repeat():
     server = make_server()
     first = server.execute_sync(STAR_QUERY)
