@@ -4,6 +4,8 @@ Commands
 --------
 ``scenarios``    the declarative scenario API:
                  ``list`` / ``describe <id>`` / ``run <id>…``
+``shards``       distribute a scenario selection across processes or
+                 machines: ``plan`` / ``run --shard k/N`` / ``merge``
 ``figure``       reproduce one of the paper's figures (1, 2, 3, 4, 5)
 ``sweep``        client sweep (the CLAIM-SAT saturation experiment)
 ``ablation``     run one of the design ablations
@@ -16,6 +18,9 @@ Commands
 ``repro figure 3`` and ``repro scenarios run fig3`` execute the same
 spec through the same facade and print identical output.
 
+See ``docs/cli.md`` for the full command reference and
+``docs/sharding.md`` for the shard execution model.
+
 Examples
 --------
 ::
@@ -23,6 +28,8 @@ Examples
     python -m repro scenarios list
     python -m repro scenarios run fig3 mixed-rush --workers 4
     python -m repro scenarios run --scenario my_scenario.json
+    python -m repro shards run --shard 2/4 --all --out shard-artifacts
+    python -m repro shards merge shard-artifacts --out bench-artifacts
     python -m repro figure 3 --preset smoke
     python -m repro experiments --suite figures --workers 4 --out bench
     python -m repro query --workload mixed --seed 7
@@ -53,6 +60,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for experiment fan-out")
 
 
+def _add_selection_args(parser: argparse.ArgumentParser) -> None:
+    """Scenario-selection arguments shared by ``scenarios run`` and the
+    ``shards`` family — every shard invocation must resolve the exact
+    same selection, so they take the exact same flags."""
+    parser.add_argument("ids", nargs="*",
+                        help="registered scenario ids to select")
+    parser.add_argument("--all", action="store_true",
+                        help="select every registered scenario")
+    parser.add_argument("--family", default=None,
+                        help="select every scenario of this family")
+    parser.add_argument("--scenario", action="append", default=[],
+                        metavar="FILE",
+                        help="path to a user-authored JSON ScenarioSpec "
+                             "(repeatable)")
+    parser.add_argument("--preset", default=None, choices=sorted(PRESETS),
+                        help="override each spec's preset")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override each spec's seed")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="override each spec's client count")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -69,31 +98,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only scenarios of this family")
 
     s_desc = scen_sub.add_parser(
-        "describe", help="print one scenario's JSON spec")
-    s_desc.add_argument("id")
+        "describe",
+        help="print one scenario's JSON spec (registered id or file)")
+    s_desc.add_argument("id", nargs="?", default=None,
+                        help="registered scenario id")
+    s_desc.add_argument("--scenario", default=None, metavar="FILE",
+                        help="validate and print a user-authored JSON "
+                             "ScenarioSpec file instead of a "
+                             "registered id")
 
     s_run = scen_sub.add_parser(
         "run", help="run scenarios by id, family or JSON spec file")
-    s_run.add_argument("ids", nargs="*",
-                       help="registered scenario ids to run")
-    s_run.add_argument("--all", action="store_true",
-                       help="run every registered scenario")
-    s_run.add_argument("--family", default=None,
-                       help="run every scenario of this family")
-    s_run.add_argument("--scenario", action="append", default=[],
-                       metavar="FILE",
-                       help="path to a user-authored JSON ScenarioSpec "
-                            "(repeatable)")
-    s_run.add_argument("--preset", default=None, choices=sorted(PRESETS),
-                       help="override each spec's preset")
-    s_run.add_argument("--seed", type=int, default=None,
-                       help="override each spec's seed")
-    s_run.add_argument("--clients", type=int, default=None,
-                       help="override each spec's client count")
+    _add_selection_args(s_run)
     s_run.add_argument("--workers", type=int, default=1,
                        help="worker processes for experiment fan-out")
     s_run.add_argument("--out", default=None,
                        help="directory for BENCH_scenario_*.json artifacts")
+
+    shards = sub.add_parser(
+        "shards",
+        help="sharded scenario execution (plan / run --shard k/N / merge)")
+    shards_sub = shards.add_subparsers(dest="shards_command", required=True)
+
+    sh_plan = shards_sub.add_parser(
+        "plan", help="show how a selection partitions into shards")
+    _add_selection_args(sh_plan)
+    sh_plan.add_argument("--shards", type=int, default=4, metavar="N",
+                         help="number of shards to partition into")
+
+    sh_run = shards_sub.add_parser(
+        "run", help="execute one shard of a selection and write its "
+                    "BENCH_shard_*.json artifact")
+    _add_selection_args(sh_run)
+    sh_run.add_argument("--shard", required=True, metavar="K/N",
+                        help="which shard this process executes "
+                             "(1-based), e.g. 2/4")
+    sh_run.add_argument("--workers", type=int, default=1,
+                        help="worker processes for this shard's engine")
+    sh_run.add_argument("--out", default="shard-artifacts",
+                        help="directory for the BENCH_shard_*.json "
+                             "artifact")
+
+    sh_merge = shards_sub.add_parser(
+        "merge", help="merge shard artifacts (and/or pre-shard scenario "
+                      "artifacts) into BENCH_scenario_*.json")
+    sh_merge.add_argument("artifacts", nargs="+", metavar="PATH",
+                          help="BENCH_*.json files, or directories to "
+                               "scan for BENCH_shard_*.json")
+    sh_merge.add_argument("--out", default="bench-artifacts",
+                          help="directory for the merged artifacts")
 
     fig = sub.add_parser("figure", help="reproduce a paper figure")
     fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
@@ -176,7 +229,9 @@ def _resolve_run_specs(args) -> list:
 
 
 def cmd_scenarios(args) -> int:
-    from repro.scenarios import get_scenario, list_scenarios
+    from repro.errors import ConfigurationError
+    from repro.scenarios import get_scenario, list_scenarios, \
+        load_scenario_file
 
     if args.scenarios_command == "list":
         specs = list_scenarios(family=args.family)
@@ -189,11 +244,91 @@ def cmd_scenarios(args) -> int:
         print(f"{len(specs)} scenarios")
         return 0
     if args.scenarios_command == "describe":
-        spec = get_scenario(args.id)
+        if (args.id is None) == (args.scenario is None):
+            raise ConfigurationError(
+                "describe needs a registered scenario id or "
+                "--scenario FILE (exactly one)")
+        # loading a file validates it: unknown top-level keys are a
+        # ConfigurationError listing the valid ones, same as `run`
+        spec = (load_scenario_file(args.scenario) if args.scenario
+                else get_scenario(args.id))
         print(json.dumps(spec.to_dict(), indent=2))
         return 0
     specs = _resolve_run_specs(args)
     return _run_specs(specs, workers=args.workers, out=args.out)
+
+
+# ------------------------------------------------------------- sharding
+def _collect_merge_paths(arguments: List[str]) -> List[str]:
+    """Expand merge arguments: files stay, directories are scanned for
+    ``BENCH_shard_*.json`` (sorted, so runs are deterministic)."""
+    import glob
+    import os
+
+    from repro.errors import ConfigurationError
+
+    paths = []
+    for argument in arguments:
+        if os.path.isdir(argument):
+            found = sorted(glob.glob(
+                os.path.join(argument, "BENCH_shard_*of*.json")))
+            if not found:
+                raise ConfigurationError(
+                    f"no BENCH_shard_*.json artifacts in directory "
+                    f"{argument!r}")
+            paths.extend(found)
+        else:
+            paths.append(argument)
+    return paths
+
+
+def cmd_shards(args) -> int:
+    """Handle the ``shards`` family (plan / run / merge)."""
+    from repro.experiments.shards import (
+        ShardPlan,
+        merge_artifact_files,
+        parse_shard_selector,
+        run_shard,
+        write_merged_artifacts,
+        write_shard_artifact,
+    )
+
+    if args.shards_command == "merge":
+        paths = _collect_merge_paths(args.artifacts)
+        merge = merge_artifact_files(paths)
+        rows = [(scenario_id, "ok" if payload["ok"] else "FAILED")
+                for scenario_id, payload in merge.scenarios.items()]
+        print(f"== merged {merge.sources} artifacts "
+              f"({merge.shard_count} shards, {merge.cells_total} cells)")
+        print(render_table(("scenario", "status"), rows))
+        for path in write_merged_artifacts(args.out, merge):
+            print(f"   artifact -> {path}")
+        return 0 if merge.ok else 1
+
+    specs = _resolve_run_specs(args)
+    if args.shards_command == "plan":
+        plan = ShardPlan.partition(specs, args.shards)
+        rows = [(f"{index}/{plan.count}", len(cells),
+                 " ".join(f"{c.scenario_id}/{c.variant}" for c in cells))
+                for index, cells in enumerate(plan.assignments, start=1)]
+        print(render_table(("shard", "cells", "assignment"), rows))
+        print(f"{len(plan.all_cells())} cells over {plan.count} shards")
+        return 0
+
+    index, count = parse_shard_selector(args.shard)
+    plan = ShardPlan.partition(specs, count)
+    print(f"== shard {index}/{count}: {len(plan.cells_for(index))} of "
+          f"{len(plan.all_cells())} cells, workers={args.workers}")
+    payload = run_shard(plan, index, workers=args.workers,
+                        progress=lambda line: print(f"   {line}"))
+    path = write_shard_artifact(args.out, payload)
+    print(f"   artifact -> {path}")
+    failed = False
+    for scenario_id, entry in payload["scenarios"].items():
+        for variant, error in entry.get("errors", {}).items():
+            failed = True
+            print(f"   FAILED {scenario_id}/{variant}: {error}")
+    return 1 if failed else 0
 
 
 # -------------------------------------------------------- legacy shims
@@ -308,6 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "scenarios": cmd_scenarios,
+        "shards": cmd_shards,
         "figure": cmd_figure,
         "sweep": cmd_sweep,
         "ablation": cmd_ablation,

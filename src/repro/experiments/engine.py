@@ -32,8 +32,10 @@ from repro.experiments.runner import (
 )
 
 #: artifact schema version — bump when the JSON layout changes
-#: (2: workload_params in configs, search_replays/soft_denials counters)
-ARTIFACT_SCHEMA = 2
+#: (2: workload_params in configs, search_replays/soft_denials counters;
+#: 3: versioned scenario specs, shard artifacts with shard/selection
+#: metadata and mergeable per-variant results)
+ARTIFACT_SCHEMA = 3
 
 #: recordings kept per search profile in a shared pool
 SHARED_SEARCH_POOL_CAP = 1024
@@ -65,6 +67,7 @@ class BatchResult:
 
     @property
     def ok(self) -> bool:
+        """True when every job of the batch finished without error."""
         return not self.errors
 
 

@@ -145,6 +145,7 @@ class ExperimentResult:
 
     @property
     def mean_per_bucket(self) -> float:
+        """Mean completions per figure bucket over the measured window."""
         if not self.throughput:
             return 0.0
         return sum(c for _, c in self.throughput) / len(self.throughput)

@@ -7,6 +7,7 @@ scenario catalogue (``repro.scenarios.library``).
 """
 
 from repro.scenarios.spec import (
+    SPEC_FORMAT_VERSION,
     ConfigOverrides,
     Expectation,
     ScenarioSpec,
@@ -23,10 +24,15 @@ from repro.scenarios.registry import (
 from repro.scenarios.facade import (
     CheckOutcome,
     ScenarioResult,
+    evaluate_expectations,
     jobs_for_scenario,
     load_scenario_file,
+    metrics_from_summary,
+    rebuild_scenario_payload,
     result_metrics,
     run_scenario,
+    scenario_artifact_name,
+    scenario_payload,
     write_scenario_artifact,
 )
 from repro.scenarios.library import (
@@ -43,22 +49,28 @@ __all__ = [
     "CheckOutcome",
     "ConfigOverrides",
     "Expectation",
+    "SPEC_FORMAT_VERSION",
     "ScenarioResult",
     "ScenarioSpec",
     "VariantSpec",
     "best_plan_ablation_scenario",
     "dynamic_ablation_scenario",
+    "evaluate_expectations",
     "gateway_ablation_scenario",
     "get_scenario",
     "jobs_for_scenario",
     "list_scenarios",
     "load_scenario_file",
+    "metrics_from_summary",
+    "rebuild_scenario_payload",
     "register_scenario",
     "result_metrics",
     "run_scenario",
     "saturation_scenario",
+    "scenario_artifact_name",
     "scenario_families",
     "scenario_ids",
+    "scenario_payload",
     "throughput_scenario",
     "unregister_scenario",
     "write_scenario_artifact",

@@ -103,6 +103,7 @@ class ScenarioResult:
 
     @property
     def ok(self) -> bool:
+        """True when every engine run and every expectation passed."""
         if self.batch is not None and self.batch.errors:
             return False
         return all(check.passed for check in self.checks)
@@ -127,20 +128,40 @@ class ScenarioResult:
 
 # ------------------------------------------------------------- metrics
 def result_metrics(result: ExperimentResult) -> Dict[str, float]:
-    """The per-variant metric namespace expectations can reference."""
+    """The per-variant metric namespace expectations can reference.
+
+    Defined as the summary round trip so the live path and the shard
+    merge can never drift: a metric exists here exactly when it can be
+    rebuilt from an artifact by :func:`metrics_from_summary`.
+    """
+    from repro.experiments.engine import summarize_result
+
+    return metrics_from_summary(summarize_result(result))
+
+
+def metrics_from_summary(summary: Dict) -> Dict[str, float]:
+    """Rebuild the per-variant metric namespace from an artifact summary.
+
+    The inverse of :func:`~repro.experiments.engine.summarize_result`
+    for expectation purposes: feeding a run's JSON summary through here
+    yields exactly ``result_metrics(result)`` of the result it
+    summarized (JSON round-trips floats losslessly), which is what lets
+    a shard merge re-evaluate expectations on the same numbers a
+    single-machine run saw.
+    """
     metrics: Dict[str, float] = {
-        "completed": float(result.completed),
-        "failed": float(result.failed),
-        "degraded": float(result.degraded),
-        "retries": float(result.retries),
-        "mean_per_bucket": result.mean_per_bucket,
-        "mean_compile_time": result.mean_compile_time,
-        "mean_execution_time": result.mean_execution_time,
-        "search_replays": float(result.search_replays),
-        "soft_denials": float(result.soft_denials),
-        "wall_seconds": result.wall_seconds,
+        "completed": float(summary["completed"]),
+        "failed": float(summary["failed"]),
+        "degraded": float(summary["degraded"]),
+        "retries": float(summary["retries"]),
+        "mean_per_bucket": summary["mean_per_bucket"],
+        "mean_compile_time": summary["mean_compile_time"],
+        "mean_execution_time": summary["mean_execution_time"],
+        "search_replays": float(summary["search_replays"]),
+        "soft_denials": float(summary["soft_denials"]),
+        "wall_seconds": summary["wall_seconds"],
     }
-    for kind, count in result.error_counts.items():
+    for kind, count in summary["error_counts"].items():
         metrics[f"errors.{kind}"] = float(count)
     return metrics
 
@@ -197,6 +218,12 @@ def evaluate_expectations(spec: ScenarioSpec,
                           variant_metrics: Dict[str, Dict[str, float]],
                           scenario_metrics: Dict[str, float]
                           ) -> List[CheckOutcome]:
+    """Evaluate every expectation of ``spec`` against the metrics.
+
+    A metric that cannot be resolved (missing variant, unknown name)
+    fails its check with ``actual=None`` rather than raising — a
+    scenario whose runs errored still reports all its checks.
+    """
     checks = []
     for expectation in spec.expect:
         actual = _lookup_metric(expectation, variant_metrics,
@@ -263,7 +290,11 @@ def _run_monitors(spec: ScenarioSpec) -> ScenarioResult:
 
     params = dict(spec.workload_params)
     body = figure1_monitors(bool(params.get("throttling", True)))
-    return ScenarioResult(spec=spec, batch=None, body=body)
+    # monitors scenarios have no metrics, but their expectations must
+    # still be evaluated (to failure) — the shard merge re-evaluates
+    # them the same way, keeping both paths byte-identical
+    checks = evaluate_expectations(spec, {}, {})
+    return ScenarioResult(spec=spec, batch=None, checks=checks, body=body)
 
 
 def _run_trace(spec: ScenarioSpec) -> ScenarioResult:
@@ -308,28 +339,103 @@ def _json_safe(value):
     return value
 
 
+def scenario_payload(spec: ScenarioSpec, *, ok: bool,
+                     wall_seconds: float,
+                     scenario_metrics: Dict[str, float],
+                     checks: List[CheckOutcome],
+                     errors: Optional[Dict[str, str]] = None,
+                     results: Optional[Dict[str, dict]] = None) -> dict:
+    """The canonical ``BENCH_scenario_*`` payload (stable key order).
+
+    Both the single-machine path (:func:`write_scenario_artifact`) and
+    the shard merge (:mod:`repro.experiments.shards`) assemble their
+    artifacts through here, which is what keeps a merged artifact
+    byte-compatible with a single-machine one.  ``errors``/``results``
+    are only present for experiment scenarios (pass ``None`` to omit
+    them, matching a batch-less monitors/trace run).
+    """
+    payload = {
+        "spec": spec.to_dict(),
+        "ok": ok,
+        "wall_seconds": wall_seconds,
+        "scenario_metrics": {name: _json_safe(value) for name, value
+                             in sorted(scenario_metrics.items())},
+        "checks": [{
+            "expectation": check.expectation.to_dict(),
+            "actual": _json_safe(check.actual),
+            "passed": check.passed,
+        } for check in checks],
+    }
+    if errors is not None:
+        payload["errors"] = dict(sorted(errors.items()))
+    if results is not None:
+        payload["results"] = dict(results)
+    return payload
+
+
+def scenario_artifact_name(spec: ScenarioSpec) -> str:
+    """The document name of one scenario's artifact (no extension)."""
+    return "scenario_" + spec.scenario_id.replace("/", "_")
+
+
+def rebuild_scenario_payload(spec: ScenarioSpec, *, wall_seconds: float,
+                             errors: Optional[Dict[str, str]] = None,
+                             results: Optional[Dict[str, dict]] = None,
+                             scenario_metrics: Optional[Dict] = None
+                             ) -> dict:
+    """Re-derive a scenario's artifact payload from summarized results.
+
+    This is the heart of the shard merge: given the per-variant
+    summaries an experiment scenario's shards produced (or, for
+    monitors/trace scenarios, the carried ``scenario_metrics``), it
+    recomputes variant metrics, scenario aggregates, expectation checks
+    and the ``ok`` flag exactly the way a single-machine
+    :func:`run_scenario` would, then assembles the canonical payload
+    via :func:`scenario_payload`.  Apart from execution-dependent
+    fields (wall clock, search replays) the result is byte-identical
+    to the single-machine artifact.
+    """
+    if spec.kind == "experiment":
+        errors = dict(errors or {})
+        merged = dict(results or {})
+        # spec variant order, not shard arrival order: aggregation sums
+        # floats in a fixed order so merged numbers match exactly
+        ordered = {name: merged[name] for name in spec.variant_names()
+                   if name in merged}
+        variant_metrics = {name: metrics_from_summary(summary)
+                           for name, summary in ordered.items()}
+        scenario_metrics = _aggregate_metrics(spec, variant_metrics)
+        checks = evaluate_expectations(spec, variant_metrics,
+                                       scenario_metrics)
+        ok = not errors and all(check.passed for check in checks)
+        return scenario_payload(
+            spec, ok=ok, wall_seconds=wall_seconds,
+            scenario_metrics=scenario_metrics, checks=checks,
+            errors=errors, results=ordered)
+    # monitors/trace scenarios run whole inside one shard; their
+    # metrics travel in the shard document (possibly stringified by
+    # _json_safe) and the checks are re-evaluated here
+    metrics = {name: float(value) if isinstance(value, str) else value
+               for name, value in (scenario_metrics or {}).items()}
+    checks = evaluate_expectations(spec, {}, metrics)
+    ok = all(check.passed for check in checks)
+    return scenario_payload(spec, ok=ok, wall_seconds=wall_seconds,
+                            scenario_metrics=metrics, checks=checks)
+
+
 def write_scenario_artifact(out_dir: str,
                             result: ScenarioResult) -> str:
     """Write one scenario's ``BENCH_scenario_<id>.json``."""
     from repro.experiments.engine import summarize_result
 
-    spec = result.spec
-    payload = {
-        "spec": spec.to_dict(),
-        "ok": result.ok,
-        "wall_seconds": result.wall_seconds,
-        "scenario_metrics": {name: _json_safe(value) for name, value
-                             in sorted(result.scenario_metrics.items())},
-        "checks": [{
-            "expectation": check.expectation.to_dict(),
-            "actual": _json_safe(check.actual),
-            "passed": check.passed,
-        } for check in result.checks],
-    }
+    errors = results = None
     if result.batch is not None:
-        payload["errors"] = dict(sorted(result.batch.errors.items()))
-        payload["results"] = {
-            name: summarize_result(res)
-            for name, res in result.batch.results.items()}
-    safe_id = spec.scenario_id.replace("/", "_")
-    return write_bench_document(out_dir, f"scenario_{safe_id}", payload)
+        errors = result.batch.errors
+        results = {name: summarize_result(res)
+                   for name, res in result.batch.results.items()}
+    payload = scenario_payload(
+        result.spec, ok=result.ok, wall_seconds=result.wall_seconds,
+        scenario_metrics=result.scenario_metrics, checks=result.checks,
+        errors=errors, results=results)
+    return write_bench_document(
+        out_dir, scenario_artifact_name(result.spec), payload)

@@ -47,6 +47,11 @@ def unregister_scenario(scenario_id: str) -> None:
 
 
 def get_scenario(scenario_id: str) -> ScenarioSpec:
+    """Look one registered spec up by id.
+
+    Raises :class:`ConfigurationError` naming the registered ids when
+    the id is unknown (typos teach the catalogue).
+    """
     try:
         return _REGISTRY[scenario_id]
     except KeyError:
@@ -63,8 +68,10 @@ def list_scenarios(family: Optional[str] = None) -> List[ScenarioSpec]:
 
 
 def scenario_ids() -> List[str]:
+    """All registered scenario ids, sorted."""
     return sorted(_REGISTRY)
 
 
 def scenario_families() -> List[str]:
+    """All families with at least one registered scenario, sorted."""
     return sorted({s.family for s in _REGISTRY.values()})

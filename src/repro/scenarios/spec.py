@@ -17,6 +17,12 @@ from typing import Dict, Optional, Tuple
 from repro.config import ServerConfig, default_gateways, paper_server_config
 from repro.errors import ConfigurationError
 
+#: version of the JSON spec format.  ``ScenarioSpec.to_dict`` stamps
+#: it; ``from_dict`` accepts documents without one (they predate
+#: versioning and mean version 1) and rejects versions from the future
+#: so an old build never silently misreads a newer spec file.
+SPEC_FORMAT_VERSION = 1
+
 #: comparison operators an Expectation may use
 EXPECTATION_OPS = {
     "<": operator.lt,
@@ -282,6 +288,12 @@ class ScenarioSpec:
         if not self.variants:
             raise ConfigurationError(
                 f"scenario {self.scenario_id!r} needs at least one variant")
+        if self.kind != "experiment" and len(self.variants) != 1:
+            # variants only vary experiment configs; a monitors/trace
+            # scenario is a single unit of work (one shard cell)
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} is a {self.kind!r} "
+                f"scenario and takes exactly one variant")
         names = [v.name for v in self.variants]
         if len(set(names)) != len(names):
             raise ConfigurationError(
@@ -322,7 +334,13 @@ class ScenarioSpec:
         return tuple(v.name for v in self.variants)
 
     def to_dict(self) -> dict:
+        """The JSON-ready document form of this spec.
+
+        Stamped with the spec-format ``version`` so files written today
+        stay readable (or fail loudly) as the format evolves.
+        """
         return {
+            "version": SPEC_FORMAT_VERSION,
             "scenario_id": self.scenario_id,
             "title": self.title,
             "family": self.family,
@@ -341,6 +359,13 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ScenarioSpec":
+        """Parse a spec document, rejecting unknown fields and versions.
+
+        Unknown top-level keys raise :class:`ConfigurationError` naming
+        the valid ones; a ``version`` newer than this build understands
+        is rejected instead of being misread.
+        """
+        doc = _checked_version(doc, "scenario")
         kwargs = _checked_kwargs(cls, doc, "scenario")
         variants = kwargs.get("variants")
         if variants is not None:
@@ -353,6 +378,28 @@ class ScenarioSpec:
                 Expectation.from_dict(e) if isinstance(e, dict) else e
                 for e in expectations)
         return cls(**kwargs)
+
+
+def _checked_version(doc: dict, what: str) -> dict:
+    """Strip and validate the spec-format ``version`` key.
+
+    Returns a copy of ``doc`` without the key; a missing version means
+    version 1 (documents written before versioning existed).
+    """
+    if not isinstance(doc, dict):
+        raise ConfigurationError(f"{what} must be a JSON object, "
+                                 f"got {type(doc).__name__}")
+    doc = dict(doc)
+    version = doc.pop("version", SPEC_FORMAT_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ConfigurationError(
+            f"{what} version must be an integer, got {version!r}")
+    if version != SPEC_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{what} format version {version} is not supported by this "
+            f"build (understands version {SPEC_FORMAT_VERSION}); "
+            f"re-export the spec or upgrade")
+    return doc
 
 
 def _checked_kwargs(cls, doc: dict, what: str) -> dict:

@@ -10,7 +10,7 @@ rendered report, safe to call at any simulated instant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.metrics.report import render_table
@@ -129,6 +129,23 @@ class ServerViews:
             "soft_denials": server.pipeline.soft_denials,
             "broker_pressure": float(server.broker.under_pressure),
             "broker_sweeps": server.broker.sweeps,
+        }
+
+    def snapshot(self) -> Dict:
+        """All views as one JSON-ready document.
+
+        The structured sibling of :meth:`report`: everything an
+        operator dashboard (or a shard artifact post-mortem) needs in
+        one serializable value — plain dicts and lists only, safe to
+        ``json.dump`` as-is.
+        """
+        return {
+            "summary": self.summary(),
+            "memory_clerks": [asdict(row) for row in self.memory_clerks()],
+            "memory_gateways": [asdict(row)
+                                for row in self.memory_gateways()],
+            "grant_queue": asdict(self.grant_queue()),
+            "compilations": [asdict(row) for row in self.compilations()],
         }
 
     # -- rendering ------------------------------------------------------------

@@ -65,6 +65,24 @@ def test_spec_roundtrips_through_dict():
         == spec
 
 
+def test_spec_format_versioning():
+    from repro.scenarios import SPEC_FORMAT_VERSION
+
+    spec = tiny_spec()
+    doc = spec.to_dict()
+    # documents are stamped with the current format version ...
+    assert doc["version"] == SPEC_FORMAT_VERSION
+    # ... pre-versioning documents (no version key) still parse ...
+    unversioned = dict(doc)
+    del unversioned["version"]
+    assert ScenarioSpec.from_dict(unversioned) == spec
+    # ... and future or malformed versions are rejected loudly
+    with pytest.raises(ConfigurationError, match="not supported"):
+        ScenarioSpec.from_dict({**doc, "version": SPEC_FORMAT_VERSION + 1})
+    with pytest.raises(ConfigurationError, match="integer"):
+        ScenarioSpec.from_dict({**doc, "version": "one"})
+
+
 def test_every_registered_scenario_roundtrips():
     for spec in list_scenarios():
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec, \
@@ -92,6 +110,10 @@ def test_spec_validation_rejects_bad_values():
                   workload_params={"tpch_fraction": 2.0})
     with pytest.raises(ConfigurationError, match="kind"):
         tiny_spec(kind="interpretive-dance")
+    # variants only vary experiment configs; monitors/trace scenarios
+    # are single units of work (one shard cell each)
+    with pytest.raises(ConfigurationError, match="exactly one variant"):
+        tiny_spec(kind="monitors", expect=())
     with pytest.raises(ConfigurationError, match="unknown scenario field"):
         ScenarioSpec.from_dict({"scenario_id": "x", "title": "x",
                                 "family": "x", "bogus": 1})
@@ -260,6 +282,37 @@ def test_cli_error_handling(capsys):
     assert "mixed" in err
 
 
+def test_cli_describe_scenario_file(tmp_path, capsys):
+    """`scenarios describe --scenario FILE` validates the file: unknown
+    top-level keys are rejected with the valid ones listed, exactly
+    like the workload/preset errors."""
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"scenario_id": "u", "title": "U",
+                                "family": "user", "workload": "oltp",
+                                "clients": 2}), encoding="utf-8")
+    assert cli.main(["scenarios", "describe",
+                     "--scenario", str(good)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["scenario_id"] == "u" and "version" in doc
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"scenario_id": "u", "title": "U",
+                               "family": "user", "bogus": 1,
+                               "extra": 2}), encoding="utf-8")
+    assert cli.main(["scenarios", "describe",
+                     "--scenario", str(bad)]) == 2
+    err = capsys.readouterr().err
+    # the error names the offenders and teaches the valid keys
+    assert "bogus" in err and "extra" in err and "workload" in err
+
+    # exactly one of <id> / --scenario
+    assert cli.main(["scenarios", "describe"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+    assert cli.main(["scenarios", "describe", "fig3",
+                     "--scenario", str(good)]) == 2
+    assert "exactly one" in capsys.readouterr().err
+
+
 def test_cli_rejects_bad_scenario_file(tmp_path, capsys):
     path = tmp_path / "broken.json"
     path.write_text("{not json", encoding="utf-8")
@@ -317,7 +370,7 @@ def test_scenario_artifact_roundtrips(tmp_path):
     path = write_scenario_artifact(str(tmp_path), result)
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    assert doc["schema"] == 2
+    assert doc["schema"] == 3
     assert ScenarioSpec.from_dict(doc["spec"]) == tiny_spec()
     assert set(doc["results"]) == {"throttled", "unthrottled"}
     assert doc["results"]["throttled"]["completed"] > 0

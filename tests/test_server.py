@@ -41,6 +41,23 @@ def test_dmv_summary_surfaces_pipeline_counters():
     assert "soft denials" in report
 
 
+def test_dmv_snapshot_is_json_ready():
+    """snapshot() must serialize as-is and mirror the individual views."""
+    import json
+
+    server = make_server()
+    server.execute_sync(STAR_QUERY)
+    snapshot = server.views().snapshot()
+    round_tripped = json.loads(json.dumps(snapshot))
+    assert set(round_tripped) == {"summary", "memory_clerks",
+                                  "memory_gateways", "grant_queue",
+                                  "compilations"}
+    assert round_tripped["summary"] == server.views().summary()
+    clerk_names = {row["name"] for row in round_tripped["memory_clerks"]}
+    assert "compilation" in clerk_names
+    assert len(round_tripped["memory_gateways"]) == 3
+
+
 def test_plan_cache_hit_on_repeat():
     server = make_server()
     first = server.execute_sync(STAR_QUERY)
