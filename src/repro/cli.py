@@ -6,6 +6,8 @@ Commands
                  ``list`` / ``describe <id>`` / ``run <id>…``
 ``shards``       distribute a scenario selection across processes or
                  machines: ``plan`` / ``run --shard k/N`` / ``merge``
+``workers``      stream cells to a worker pool over TCP:
+                 ``serve`` a selection / ``join`` a coordinator
 ``figure``       reproduce one of the paper's figures (1, 2, 3, 4, 5)
 ``sweep``        client sweep (the CLAIM-SAT saturation experiment)
 ``ablation``     run one of the design ablations
@@ -18,8 +20,15 @@ Commands
 ``repro figure 3`` and ``repro scenarios run fig3`` execute the same
 spec through the same facade and print identical output.
 
-See ``docs/cli.md`` for the full command reference and
-``docs/sharding.md`` for the shard execution model.
+Every run surface submits its cells through one
+:class:`~repro.experiments.executors.CellExecutor`; ``--executor
+{inline,pool,stream}`` picks the implementation (default: inline for
+``--workers 1``, the process pool otherwise) and results are
+canonically byte-identical whichever one runs the cells.
+
+See ``docs/cli.md`` for the full command reference,
+``docs/sharding.md`` for the shard execution model and
+``docs/executors.md`` for the executor protocol and wire format.
 
 Examples
 --------
@@ -28,8 +37,11 @@ Examples
     python -m repro scenarios list
     python -m repro scenarios run fig3 mixed-rush --workers 4
     python -m repro scenarios run --scenario my_scenario.json
+    python -m repro scenarios run abl-dyn --executor stream --stream-workers 2
     python -m repro shards run --shard 2/4 --all --out shard-artifacts
     python -m repro shards merge shard-artifacts --out bench-artifacts
+    python -m repro workers serve --all --bind 127.0.0.1:7731 --out bench
+    python -m repro workers join --connect 127.0.0.1:7731
     python -m repro figure 3 --preset smoke
     python -m repro experiments --suite figures --workers 4 --out bench
     python -m repro query --workload mixed --seed 7
@@ -82,6 +94,47 @@ def _add_selection_args(parser: argparse.ArgumentParser) -> None:
                         help="override each spec's client count")
 
 
+def _add_executor_args(parser: argparse.ArgumentParser,
+                       stream_workers: int = 2) -> None:
+    """Cell-executor arguments shared by every run surface."""
+    parser.add_argument("--executor", default=None,
+                        choices=("inline", "pool", "stream"),
+                        help="cell executor: inline (serial, default "
+                             "for --workers 1), pool (process pool), "
+                             "stream (TCP worker pool)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the pool executor")
+    parser.add_argument("--stream-workers", type=int,
+                        default=stream_workers, metavar="N",
+                        help="local worker processes a stream executor "
+                             "spawns itself (0 = external workers only)")
+    parser.add_argument("--bind", default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="address a stream executor serves on "
+                             "(port 0 picks an ephemeral port)")
+    parser.add_argument("--snapshot", action="store_true",
+                        help="embed the end-of-run DMV snapshot "
+                             "(ServerViews.snapshot) in result "
+                             "artifacts")
+
+
+def _executor_from_args(args):
+    from repro.experiments.executors import StreamExecutor, make_executor
+
+    executor = make_executor(args.executor, workers=args.workers,
+                             bind=args.bind,
+                             stream_workers=args.stream_workers)
+    if isinstance(executor, StreamExecutor):
+        # announce the bound address up front: with --stream-workers 0
+        # the queue waits for external joiners, who need somewhere to
+        # point `repro workers join --connect`
+        host, port = executor.start()
+        print(f"== stream executor on {host}:{port} "
+              f"({executor.spawn_workers} local worker(s); join with: "
+              f"repro workers join --connect {host}:{port})")
+    return executor
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -110,8 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     s_run = scen_sub.add_parser(
         "run", help="run scenarios by id, family or JSON spec file")
     _add_selection_args(s_run)
-    s_run.add_argument("--workers", type=int, default=1,
-                       help="worker processes for experiment fan-out")
+    _add_executor_args(s_run)
     s_run.add_argument("--out", default=None,
                        help="directory for BENCH_scenario_*.json artifacts")
 
@@ -133,8 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     sh_run.add_argument("--shard", required=True, metavar="K/N",
                         help="which shard this process executes "
                              "(1-based), e.g. 2/4")
-    sh_run.add_argument("--workers", type=int, default=1,
-                        help="worker processes for this shard's engine")
+    _add_executor_args(sh_run)
     sh_run.add_argument("--out", default="shard-artifacts",
                         help="directory for the BENCH_shard_*.json "
                              "artifact")
@@ -147,6 +198,39 @@ def build_parser() -> argparse.ArgumentParser:
                                "scan for BENCH_shard_*.json")
     sh_merge.add_argument("--out", default="bench-artifacts",
                           help="directory for the merged artifacts")
+
+    workers = sub.add_parser(
+        "workers",
+        help="stream cells to a TCP worker pool (serve / join)")
+    workers_sub = workers.add_subparsers(dest="workers_command",
+                                         required=True)
+
+    w_serve = workers_sub.add_parser(
+        "serve", help="serve a selection's cell queue to joining "
+                      "workers and write BENCH_scenario_*.json")
+    _add_selection_args(w_serve)
+    w_serve.add_argument("--bind", default="127.0.0.1:7731",
+                         metavar="HOST:PORT",
+                         help="address to serve the cell queue on")
+    w_serve.add_argument("--stream-workers", type=int, default=0,
+                         metavar="N",
+                         help="local worker processes to spawn in "
+                              "addition to external joiners")
+    w_serve.add_argument("--snapshot", action="store_true",
+                         help="embed the end-of-run DMV snapshot in "
+                              "result artifacts")
+    w_serve.add_argument("--out", default=None,
+                         help="directory for BENCH_scenario_*.json "
+                              "artifacts")
+
+    w_join = workers_sub.add_parser(
+        "join", help="join a coordinator and execute streamed cells "
+                     "until the queue drains")
+    w_join.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address (from `repro workers "
+                             "serve`)")
+    w_join.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress output")
 
     fig = sub.add_parser("figure", help="reproduce a paper figure")
     fig.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
@@ -170,6 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("figures", "ablations", "saturation", "all"))
     exp.add_argument("--out", default="bench-artifacts",
                      help="directory for BENCH_*.json artifacts")
+    exp.add_argument("--snapshot", action="store_true",
+                     help="embed the end-of-run DMV snapshot in each "
+                          "run's artifact summary")
     _add_common(exp)
 
     query = sub.add_parser("query", help="run one ad-hoc query")
@@ -183,22 +270,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------- scenarios
-def _run_specs(specs, workers: int, out: Optional[str]) -> int:
-    """Run resolved specs; print each render; write artifacts."""
-    from repro.scenarios import run_scenario, write_scenario_artifact
+def _run_specs(specs, workers: int = 1, out: Optional[str] = None,
+               executor=None, snapshot: bool = False) -> int:
+    """Run resolved specs; print each render; write artifacts.
 
-    failed = False
-    for index, spec in enumerate(specs):
-        if index:
+    One executor, one submission: all specs' cells go down together
+    (see :func:`repro.scenarios.facade.run_scenarios`), so a stream
+    executor's workers drain a single queue across the selection —
+    but each scenario renders and persists as soon as it completes,
+    so a long run keeps its finished artifacts even if a later
+    scenario fails.
+    """
+    from repro.scenarios import run_scenarios, write_scenario_artifact
+
+    state = {"failed": False, "emitted": 0}
+
+    def emit(result) -> None:
+        if state["emitted"]:
             print()
-        result = run_scenario(spec, workers=workers)
+        state["emitted"] += 1
         print(result.render())
         if out:
             path = write_scenario_artifact(out, result)
             print(f"   artifact -> {path}")
         if not result.ok:
-            failed = True
-    return 1 if failed else 0
+            state["failed"] = True
+
+    run_scenarios(specs, workers=workers, executor=executor,
+                  snapshot=snapshot, on_result=emit)
+    return 1 if state["failed"] else 0
 
 
 def _resolve_run_specs(args) -> list:
@@ -224,8 +324,22 @@ def _resolve_run_specs(args) -> list:
         raise ConfigurationError(
             "nothing to run: give scenario ids, --family, --all or "
             "--scenario FILE")
+    # overlapping selection flags (`--family ablations abl-dyn`) name
+    # the same scenario twice; run it once.  Two *different* specs
+    # under one id (a --scenario FILE shadowing a registered id) are a
+    # conflict, never a silent last-wins
+    unique = {}
+    for spec in specs:
+        known = unique.get(spec.scenario_id)
+        if known is not None and known != spec:
+            raise ConfigurationError(
+                f"scenario {spec.scenario_id!r} is selected twice with "
+                f"different specs; rename the --scenario file's "
+                f"scenario_id or drop one selection")
+        unique[spec.scenario_id] = spec
     return [spec.customized(preset=args.preset, seed=args.seed,
-                            clients=args.clients) for spec in specs]
+                            clients=args.clients)
+            for spec in unique.values()]
 
 
 def cmd_scenarios(args) -> int:
@@ -255,7 +369,12 @@ def cmd_scenarios(args) -> int:
         print(json.dumps(spec.to_dict(), indent=2))
         return 0
     specs = _resolve_run_specs(args)
-    return _run_specs(specs, workers=args.workers, out=args.out)
+    executor = _executor_from_args(args)
+    try:
+        return _run_specs(specs, out=args.out, executor=executor,
+                          snapshot=args.snapshot)
+    finally:
+        executor.close()
 
 
 # ------------------------------------------------------------- sharding
@@ -319,8 +438,13 @@ def cmd_shards(args) -> int:
     plan = ShardPlan.partition(specs, count)
     print(f"== shard {index}/{count}: {len(plan.cells_for(index))} of "
           f"{len(plan.all_cells())} cells, workers={args.workers}")
-    payload = run_shard(plan, index, workers=args.workers,
-                        progress=lambda line: print(f"   {line}"))
+    executor = _executor_from_args(args)
+    try:
+        payload = run_shard(plan, index, executor=executor,
+                            snapshot=args.snapshot,
+                            progress=lambda line: print(f"   {line}"))
+    finally:
+        executor.close()
     path = write_shard_artifact(args.out, payload)
     print(f"   artifact -> {path}")
     failed = False
@@ -329,6 +453,37 @@ def cmd_shards(args) -> int:
             failed = True
             print(f"   FAILED {scenario_id}/{variant}: {error}")
     return 1 if failed else 0
+
+
+# ------------------------------------------------------- worker pools
+def cmd_workers(args) -> int:
+    """Handle the ``workers`` family (serve / join)."""
+    from repro.experiments.wire import parse_address, run_worker
+
+    if args.workers_command == "join":
+        host, port = parse_address(args.connect)
+        progress = None if args.quiet else \
+            (lambda line: print(f"   {line}"))
+        executed = run_worker(host, port, progress=progress)
+        print(f"worker drained after {executed} cell(s)")
+        return 0
+
+    from repro.experiments.executors import StreamExecutor
+
+    specs = _resolve_run_specs(args)
+    host, port = parse_address(args.bind)
+    executor = StreamExecutor(host=host, port=port,
+                              spawn_workers=args.stream_workers)
+    try:
+        bound_host, bound_port = executor.start()
+        cells = sum(len(spec.variant_names()) for spec in specs)
+        print(f"== serving {cells} cells on {bound_host}:{bound_port} "
+              f"(join with: repro workers join "
+              f"--connect {bound_host}:{bound_port})")
+        return _run_specs(specs, out=args.out, executor=executor,
+                          snapshot=args.snapshot)
+    finally:
+        executor.close()
 
 
 # -------------------------------------------------------- legacy shims
@@ -373,6 +528,7 @@ def cmd_experiments(args) -> int:
     """Fan out a suite, print a summary, write BENCH artifacts."""
     from repro.experiments.ablations import ablation_suite_jobs
     from repro.experiments.engine import (
+        ExperimentJob,
         figure_suite_jobs,
         run_jobs,
         saturation_suite_jobs,
@@ -389,6 +545,14 @@ def cmd_experiments(args) -> int:
     if args.suite in ("saturation", "all"):
         suites["saturation"] = saturation_suite_jobs(preset=args.preset,
                                                      seed=args.seed)
+    if args.snapshot:
+        from dataclasses import replace
+
+        suites = {name: [ExperimentJob(job.name,
+                                       replace(job.config,
+                                               capture_snapshot=True))
+                         for job in jobs]
+                  for name, jobs in suites.items()}
 
     failed = False
     for suite_name, jobs in suites.items():
@@ -444,6 +608,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "scenarios": cmd_scenarios,
         "shards": cmd_shards,
+        "workers": cmd_workers,
         "figure": cmd_figure,
         "sweep": cmd_sweep,
         "ablation": cmd_ablation,

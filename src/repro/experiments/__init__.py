@@ -4,7 +4,9 @@
 into an :class:`~repro.experiments.runner.ExperimentResult`;
 ``figures`` reproduces each figure of the paper; ``ablations`` covers
 the design choices the paper reports tuning (monitor count, dynamic
-thresholds, best-plan-so-far).
+thresholds, best-plan-so-far); ``executors`` is the pluggable
+cell-execution protocol (inline / process pool / streamed TCP worker
+pool) and ``wire`` its coordinator/worker transport.
 """
 
 from repro.experiments.runner import (
@@ -22,6 +24,17 @@ from repro.experiments.engine import (
     saturation_suite_jobs,
     write_artifact,
 )
+from repro.experiments.executors import (
+    CellExecutor,
+    CellResult,
+    CellTask,
+    InlineExecutor,
+    PoolExecutor,
+    StreamExecutor,
+    execute_cell,
+    make_executor,
+    tasks_for_specs,
+)
 from repro.experiments.figures import (
     ThroughputComparison,
     figure1_monitors,
@@ -31,18 +44,27 @@ from repro.experiments.figures import (
 
 __all__ = [
     "BatchResult",
+    "CellExecutor",
+    "CellResult",
+    "CellTask",
     "ExperimentConfig",
     "ExperimentEngine",
     "ExperimentJob",
     "ExperimentResult",
+    "InlineExecutor",
     "PRESETS",
+    "PoolExecutor",
+    "StreamExecutor",
     "ThroughputComparison",
+    "execute_cell",
     "figure1_monitors",
     "figure2_trace",
     "figure_suite_jobs",
+    "make_executor",
     "run_experiment",
     "run_jobs",
     "saturation_suite_jobs",
+    "tasks_for_specs",
     "throughput_figure",
     "write_artifact",
 ]

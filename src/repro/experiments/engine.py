@@ -34,8 +34,10 @@ from repro.experiments.runner import (
 #: artifact schema version — bump when the JSON layout changes
 #: (2: workload_params in configs, search_replays/soft_denials counters;
 #: 3: versioned scenario specs, shard artifacts with shard/selection
-#: metadata and mergeable per-variant results)
-ARTIFACT_SCHEMA = 3
+#: metadata and mergeable per-variant results;
+#: 4: optional per-run DMV ``snapshot`` behind ``--snapshot``,
+#: cross-variant expectation checks carrying a ``reference`` value)
+ARTIFACT_SCHEMA = 4
 
 #: recordings kept per search profile in a shared pool
 SHARED_SEARCH_POOL_CAP = 1024
@@ -167,28 +169,16 @@ class ExperimentEngine:
     def run(self, jobs: Sequence[ExperimentJob],
             progress: Optional[Callable[[str], None]] = None) -> BatchResult:
         """Execute ``jobs``; aggregation order == submission order."""
-        names = [job.name for job in jobs]
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate job names in batch: {names}")
         started = time.time()
-        payloads = [(i, job.name, job.config, self.share_searches)
-                    for i, job in enumerate(jobs)]
-        workers = min(self.workers, len(payloads)) or 1
-        if workers > 1:
-            outcomes = self._run_pool(payloads, workers, progress)
-        else:
-            outcomes = []
-            for payload in payloads:
-                outcome = self._run_serial(payload)
-                self._note(progress, outcome)
-                outcomes.append(outcome)
+        outcomes = list(self.run_iter(jobs, progress=progress))
+        workers = min(self.workers, len(jobs)) or 1
 
         batch = BatchResult(workers=workers)
-        batch.ordered = [None] * len(payloads)
+        batch.ordered = [None] * len(jobs)
         # sort by submission index: with per-job seeds this makes the
         # aggregate independent of worker scheduling
-        for index, name, result, error, blob in sorted(outcomes):
-            _merge_search_blob(self.search_pool, blob)
+        for index, name, result, error in sorted(
+                outcomes, key=lambda outcome: outcome[0]):
             if error is not None:
                 batch.errors[name] = error
             else:
@@ -196,6 +186,37 @@ class ExperimentEngine:
                 batch.ordered[index] = result
         batch.wall_seconds = time.time() - started
         return batch
+
+    def run_iter(self, jobs: Sequence[ExperimentJob],
+                 progress: Optional[Callable[[str], None]] = None):
+        """Execute ``jobs``, yielding ``(index, name, result, error)``
+        outcomes in completion order.
+
+        The streaming sibling of :meth:`run`: consumers that persist
+        per-job (the pool cell executor) see each outcome as soon as
+        its job finishes instead of after the whole batch.  Search
+        blobs shipped back by pool workers are merged into the engine
+        pool as they arrive.
+        """
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names in batch: {names}")
+        payloads = [(i, job.name, job.config, self.share_searches)
+                    for i, job in enumerate(jobs)]
+        workers = min(self.workers, len(payloads)) or 1
+        if workers > 1:
+            outcomes = self._iter_pool(payloads, workers, progress)
+        else:
+            outcomes = self._iter_serial(payloads, progress)
+        for index, name, result, error, blob in outcomes:
+            _merge_search_blob(self.search_pool, blob)
+            yield index, name, result, error
+
+    def _iter_serial(self, payloads, progress):
+        for payload in payloads:
+            outcome = self._run_serial(payload)
+            self._note(progress, outcome)
+            yield outcome
 
     def _run_serial(self, payload) -> tuple:
         """Run one job in-process, sharing the engine pool directly."""
@@ -209,8 +230,7 @@ class ExperimentEngine:
             _trim_search_pool(pool)
         return index, name, result, None, None
 
-    def _run_pool(self, payloads, workers: int,
-                  progress) -> List[tuple]:
+    def _iter_pool(self, payloads, workers: int, progress):
         try:
             ctx = multiprocessing.get_context("fork")
             # forked workers inherit the seed pool without pickling
@@ -218,22 +238,21 @@ class ExperimentEngine:
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context("spawn")
             seed_pool = {}
-        outcomes = []
+        done = set()
         try:
             with ctx.Pool(processes=workers, initializer=_init_worker,
                           initargs=(seed_pool,)) as pool:
                 for outcome in pool.imap_unordered(_run_job, payloads):
                     self._note(progress, outcome)
-                    outcomes.append(outcome)
+                    done.add(outcome[0])
+                    yield outcome
         except (OSError, PermissionError):  # pragma: no cover - sandboxed
             # no process spawning allowed: degrade to the serial path
-            done = {o[0] for o in outcomes}
             for payload in payloads:
                 if payload[0] not in done:
                     outcome = self._run_serial(payload)
                     self._note(progress, outcome)
-                    outcomes.append(outcome)
-        return outcomes
+                    yield outcome
 
     @staticmethod
     def _note(progress, outcome) -> None:
@@ -259,9 +278,16 @@ def run_jobs(jobs: Sequence[ExperimentJob], workers: int = 1,
 
 # ------------------------------------------------------------- artifacts
 def summarize_result(result: ExperimentResult) -> dict:
-    """The JSON-ready summary of one run (stable key order)."""
+    """The JSON-ready summary of one run (stable key order).
+
+    The optional trailing ``snapshot`` key (the end-of-run DMV dump,
+    present only when the run was configured with
+    ``capture_snapshot``) is execution metadata: it is zeroed by
+    :func:`~repro.experiments.shards.canonical_document` and never
+    feeds back into metrics.
+    """
     config = result.config
-    return {
+    summary = {
         "config": {
             "workload": config.workload,
             "workload_params": dict(config.workload_params),
@@ -286,6 +312,9 @@ def summarize_result(result: ExperimentResult) -> dict:
         "throughput": [[t, c] for t, c in result.throughput],
         "wall_seconds": result.wall_seconds,
     }
+    if result.snapshot is not None:
+        summary["snapshot"] = result.snapshot
+    return summary
 
 
 def write_bench_document(out_dir: str, name: str, payload: dict) -> str:

@@ -80,6 +80,10 @@ class ExperimentConfig:
     workload_params: Tuple[Tuple[str, object], ...] = ()
     #: overrides applied to the ServerConfig after preset handling
     server_overrides: Optional[ServerConfig] = None
+    #: capture a final :meth:`ServerViews.snapshot` with the result
+    #: (execution metadata, not a simulation parameter: the flag never
+    #: changes any simulated number)
+    capture_snapshot: bool = False
 
     def build_server_config(self) -> ServerConfig:
         preset = get_preset(self.preset)
@@ -142,6 +146,9 @@ class ExperimentResult:
     search_replays: int = 0
     #: broker soft-grant denials that degraded to a best-so-far plan
     soft_denials: int = 0
+    #: end-of-run DMV snapshot (``ServerViews.snapshot()``), captured
+    #: only when the config asked for one
+    snapshot: Optional[Dict] = None
 
     @property
     def mean_per_bucket(self) -> float:
@@ -240,6 +247,12 @@ def run_experiment(config: ExperimentConfig,
         pool = shared_searches.setdefault(profile, {})
         pool.update(server.pipeline.export_recorded_searches())
 
+    snapshot = None
+    if config.capture_snapshot:
+        from repro.server.dmv import ServerViews
+
+        snapshot = ServerViews(server).snapshot()
+
     warm_sim = preset.warmup / scale
     series = [(t * scale, count)
               for t, count in metrics.throughput_series(
@@ -265,4 +278,5 @@ def run_experiment(config: ExperimentConfig,
         wall_seconds=wall,
         search_replays=server.pipeline.search_replays,
         soft_denials=server.pipeline.soft_denials,
+        snapshot=snapshot,
     )

@@ -35,31 +35,28 @@ shard documents: each one is a complete scenario and merges as-is.
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.engine import (
     ARTIFACT_SCHEMA,
-    run_jobs,
-    summarize_result,
     write_bench_document,
 )
 from repro.scenarios.facade import (
-    jobs_for_scenario,
     rebuild_scenario_payload,
-    run_scenario,
     scenario_artifact_name,
 )
 from repro.scenarios.spec import ScenarioSpec
 
 #: volatile artifact fields zeroed by :func:`canonical_document` —
-#: wall clock and cache-locality counters; everything else is pinned.
-#: Corollary: an *expectation* referencing ``wall_seconds`` or
-#: ``search_replays`` asserts on the executing process and is outside
-#: the determinism contract (see docs/sharding.md)
-VOLATILE_FIELDS = frozenset({"wall_seconds", "search_replays", "python"})
+#: wall clock, cache-locality counters and the opt-in DMV ``snapshot``
+#: (whose summary embeds ``search_replays``); everything else is
+#: pinned.  Corollary: an *expectation* referencing ``wall_seconds``
+#: or ``search_replays`` asserts on the executing process and is
+#: outside the determinism contract (see docs/sharding.md)
+VOLATILE_FIELDS = frozenset({"wall_seconds", "search_replays", "python",
+                             "snapshot"})
 
 #: sanity ceiling on shard counts — far above any real deployment,
 #: low enough that a typo'd `--shard 1/2000000000` fails instantly
@@ -209,43 +206,62 @@ class ShardPlan:
 
 # ----------------------------------------------------------- execution
 def run_shard(plan: ShardPlan, index: int, workers: int = 1,
-              progress: Optional[Callable[[str], None]] = None) -> dict:
+              progress: Optional[Callable[[str], None]] = None,
+              executor=None, snapshot: bool = False) -> dict:
     """Execute one shard of ``plan``; returns the shard document payload.
 
-    Experiment scenarios lower only their owned variants to engine
-    jobs (one fresh engine per scenario, as on a single machine);
-    monitors/trace scenarios are single-cell and run whole.  The
+    All owned cells go through one :class:`~repro.experiments.
+    executors.CellExecutor` submission (``executor=None`` picks inline
+    or the process pool from ``workers``, like every other surface),
+    then re-group into per-scenario entries in selection order.  The
     payload carries everything the merge needs: the owned cells, each
     touched scenario's spec, per-variant result summaries and errors.
     """
+    from repro.experiments.executors import CellTask, make_executor
+
     owned = plan.cells_for(index)
-    owned_variants: Dict[str, set] = {}
-    for cell in owned:
-        owned_variants.setdefault(cell.scenario_id, set()).add(cell.variant)
+    owns_executor = executor is None
+    if executor is None:
+        executor = make_executor(workers=workers)
+    tasks = [CellTask(cell=cell, spec=plan.spec_for(cell.scenario_id),
+                      snapshot=snapshot)
+             for cell in owned]
+    try:
+        cell_results = list(executor.submit(tasks, progress=progress))
+    finally:
+        if owns_executor:
+            executor.close()
+    by_scenario: Dict[str, list] = {}
+    for result in cell_results:
+        by_scenario.setdefault(result.cell.scenario_id, []).append(result)
     scenarios: Dict[str, dict] = {}
     for spec in plan.specs:
-        variants = owned_variants.get(spec.scenario_id)
-        if not variants:
+        cells = by_scenario.get(spec.scenario_id)
+        if not cells:
             continue
         entry: dict = {"spec": spec.to_dict()}
         if spec.kind == "experiment":
-            jobs = [job for job in jobs_for_scenario(spec)
-                    if job.name in variants]
-            batch = run_jobs(jobs, workers=workers, progress=progress)
-            entry["wall_seconds"] = batch.wall_seconds
-            entry["errors"] = dict(sorted(batch.errors.items()))
-            entry["results"] = {name: summarize_result(result)
-                                for name, result in batch.results.items()}
+            by_variant = {c.cell.variant: c for c in cells}
+            entry["wall_seconds"] = sum(c.wall_seconds for c in cells)
+            entry["errors"] = dict(sorted(
+                (name, c.error) for name, c in by_variant.items()
+                if c.error is not None))
+            # spec variant order, matching the engine's deterministic
+            # submission-order aggregation
+            entry["results"] = {
+                name: by_variant[name].summary
+                for name in spec.variant_names()
+                if name in by_variant and by_variant[name].ok}
         else:
-            result = run_scenario(spec, progress=progress)
-            entry["wall_seconds"] = result.wall_seconds
-            # non-finite floats are invalid strict JSON; stringify them
-            # the way scenario artifacts do (rebuilt floats on merge)
-            entry["scenario_metrics"] = {
-                name: (repr(value) if isinstance(value, float)
-                       and not math.isfinite(value) else value)
-                for name, value in sorted(
-                    result.scenario_metrics.items())}
+            cell = cells[0]
+            if cell.error is not None:
+                # a monitors/trace renderer failure is a bug, not data
+                raise RuntimeError(
+                    f"scenario {spec.scenario_id!r} cell failed: "
+                    f"{cell.error}")
+            entry["wall_seconds"] = cell.wall_seconds
+            # already JSON-safe and sorted (see executors.execute_cell)
+            entry["scenario_metrics"] = dict(cell.scenario_metrics or {})
         scenarios[spec.scenario_id] = entry
     return {
         "kind": "shard",
@@ -328,7 +344,7 @@ def _check_shard_schema(doc: dict) -> None:
             f"shard artifact {doc.get('name', '?')!r} has schema "
             f"{schema!r}; this build merges shard schema "
             f"{ARTIFACT_SCHEMA} (pre-shard scenario artifacts of "
-            f"schema 2 are accepted, shard documents are not)")
+            f"older schemas are accepted, shard documents are not)")
 
 
 def _validate_shard_coverage(shard_docs: List[dict]) -> Tuple[int, int]:
@@ -349,6 +365,7 @@ def _validate_shard_coverage(shard_docs: List[dict]) -> Tuple[int, int]:
     expected = [ShardCell.from_doc(c) for c in selection["cells"]]
     seen_indices: Dict[int, str] = {}
     owner: Dict[ShardCell, int] = {}
+    overlapping: List[str] = []
     for doc in shard_docs:
         index = int(doc.get("shard", {}).get("index", 0))
         name = doc.get("name", "?")
@@ -364,25 +381,36 @@ def _validate_shard_coverage(shard_docs: List[dict]) -> Tuple[int, int]:
         for cell_doc in doc.get("cells", ()):
             cell = ShardCell.from_doc(cell_doc)
             if cell in owner:
-                raise ConfigurationError(
-                    f"overlapping shard cell {cell.describe()}: claimed "
-                    f"by shards {owner[cell]} and {index}")
-            owner[cell] = index
+                overlapping.append(
+                    f"{cell.describe()} claimed by shards "
+                    f"{owner[cell]} and {index}")
+            else:
+                owner[cell] = index
+    # every coverage defect is collected and reported in one error, so
+    # one merge attempt diagnoses the whole artifact set instead of
+    # revealing problems one re-run at a time
+    problems: List[str] = []
+    if overlapping:
+        problems.append("overlapping shard cell(s): "
+                        + "; ".join(overlapping))
     missing_cells = [cell for cell in expected if cell not in owner]
     if missing_cells:
         missing_shards = sorted(set(range(1, count + 1))
                                 - set(seen_indices))
-        raise ConfigurationError(
-            "incomplete shard set: missing cell(s) "
+        problems.append(
+            "missing cell(s) "
             + ", ".join(cell.describe() for cell in missing_cells)
             + (f" (shard(s) {missing_shards} not provided)"
                if missing_shards else ""))
     expected_set = set(expected)
     stray = [cell for cell in owner if cell not in expected_set]
     if stray:
-        raise ConfigurationError(
-            "shard artifacts claim cell(s) outside their selection: "
+        problems.append(
+            "cell(s) outside their selection: "
             + ", ".join(cell.describe() for cell in stray))
+    if problems:
+        raise ConfigurationError(
+            "incomplete shard set: " + "; ".join(problems))
     return count, len(expected)
 
 

@@ -29,10 +29,14 @@ from repro.scenarios.facade import (
     load_scenario_file,
     metrics_from_summary,
     rebuild_scenario_payload,
+    result_from_summary,
     result_metrics,
+    run_cell_scenario,
     run_scenario,
+    run_scenarios,
     scenario_artifact_name,
     scenario_payload,
+    scenario_result_from_cells,
     write_scenario_artifact,
 )
 from repro.scenarios.library import (
@@ -64,13 +68,17 @@ __all__ = [
     "metrics_from_summary",
     "rebuild_scenario_payload",
     "register_scenario",
+    "result_from_summary",
     "result_metrics",
+    "run_cell_scenario",
     "run_scenario",
+    "run_scenarios",
     "saturation_scenario",
     "scenario_artifact_name",
     "scenario_families",
     "scenario_ids",
     "scenario_payload",
+    "scenario_result_from_cells",
     "throughput_scenario",
     "unregister_scenario",
     "write_scenario_artifact",

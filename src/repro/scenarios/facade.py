@@ -2,9 +2,12 @@
 
 ``run_scenario(spec, workers=N)`` is the one entry point the CLI, the
 legacy figure/ablation shims, the engine suite builders and the tests
-all route through: it lowers a :class:`ScenarioSpec` to engine jobs,
-fans them out, extracts a uniform metric namespace, evaluates the
-spec's expectations and renders the scenario's artifact text.
+all route through: it lowers a :class:`ScenarioSpec` to **cell tasks**,
+submits them through a :class:`~repro.experiments.executors.
+CellExecutor` (inline, process pool, or a streamed remote-worker
+pool — the caller's choice, results identical by contract), extracts
+a uniform metric namespace, evaluates the spec's expectations and
+renders the scenario's artifact text.
 """
 
 from __future__ import annotations
@@ -20,7 +23,6 @@ from repro.errors import ConfigurationError
 from repro.experiments.engine import (
     BatchResult,
     ExperimentJob,
-    run_jobs,
     write_bench_document,
 )
 from repro.experiments.runner import ExperimentConfig, ExperimentResult
@@ -71,16 +73,26 @@ def jobs_for_scenario(spec: ScenarioSpec,
 # ------------------------------------------------------------- results
 @dataclass
 class CheckOutcome:
-    """One evaluated expectation."""
+    """One evaluated expectation.
+
+    ``reference`` is only meaningful for cross-variant expectations:
+    the ``than_variant``'s value of the same metric.
+    """
 
     expectation: Expectation
     actual: Optional[float]
     passed: bool
+    reference: Optional[float] = None
 
     def describe(self) -> str:
         status = "PASS" if self.passed else "FAIL"
         actual = ("n/a" if self.actual is None
                   else f"{self.actual:g}")
+        if self.expectation.than_variant is not None:
+            reference = ("n/a" if self.reference is None
+                         else f"{self.reference:g}")
+            return (f"check {status}: {self.expectation.describe()} "
+                    f"(actual {actual} vs {reference})")
         return (f"check {status}: {self.expectation.describe()} "
                 f"(actual {actual})")
 
@@ -90,7 +102,9 @@ class ScenarioResult:
     """Everything one scenario run produced."""
 
     spec: ScenarioSpec
-    #: engine batch (experiment scenarios only)
+    #: engine batch (experiment scenarios only); under executor-based
+    #: execution the results are rebuilt from the cell summaries, so
+    #: the batch is equivalent no matter which executor ran the cells
     batch: Optional[BatchResult]
     #: variant name -> metric name -> value
     variant_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -100,6 +114,10 @@ class ScenarioResult:
     #: the scenario's rendered artifact (figure text, table, ladder)
     body: str = ""
     wall_seconds: float = 0.0
+    #: variant name -> JSON summary exactly as the executor delivered
+    #: it (experiment scenarios; written to artifacts verbatim so all
+    #: executors produce identical bytes)
+    variant_summaries: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -166,6 +184,46 @@ def metrics_from_summary(summary: Dict) -> Dict[str, float]:
     return metrics
 
 
+def result_from_summary(summary: Dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its JSON summary.
+
+    The structural inverse of
+    :func:`~repro.experiments.engine.summarize_result`: feeding the
+    rebuilt result back through ``summarize_result`` reproduces the
+    summary exactly (JSON round-trips floats losslessly and
+    ``mean_per_bucket`` is recomputed from the identical series).
+    This is what lets executor-delivered summaries — possibly produced
+    in another process or on another machine — stand in for live
+    results when rendering figures and tables.
+    """
+    config_doc = summary["config"]
+    config = ExperimentConfig(
+        workload=config_doc["workload"],
+        workload_params=tuple(sorted(
+            (str(k), v) for k, v in config_doc["workload_params"].items())),
+        clients=config_doc["clients"],
+        throttling=config_doc["throttling"],
+        preset=config_doc["preset"],
+        seed=config_doc["seed"],
+        think_time=config_doc["think_time"])
+    return ExperimentResult(
+        config=config,
+        throughput=[(t, c) for t, c in summary["throughput"]],
+        completed=summary["completed"],
+        failed=summary["failed"],
+        error_counts=dict(summary["error_counts"]),
+        degraded=summary["degraded"],
+        retries=summary["retries"],
+        mean_compile_time=summary["mean_compile_time"],
+        mean_execution_time=summary["mean_execution_time"],
+        memory_by_clerk=dict(summary["memory_by_clerk"]),
+        gateway_stats=[tuple(row) for row in summary["gateway_stats"]],
+        wall_seconds=summary["wall_seconds"],
+        search_replays=summary["search_replays"],
+        soft_denials=summary["soft_denials"],
+        snapshot=summary.get("snapshot"))
+
+
 def _aggregate_metrics(spec: ScenarioSpec,
                        variant_metrics: Dict[str, Dict[str, float]]
                        ) -> Dict[str, float]:
@@ -197,6 +255,17 @@ def _aggregate_metrics(spec: ScenarioSpec,
     return aggregate
 
 
+def _metric_from(source: Optional[Dict[str, float]],
+                 metric: str) -> Optional[float]:
+    if source is None:
+        return None
+    value = source.get(metric)
+    if value is None and metric.startswith("errors."):
+        # an error kind that never occurred counts as zero
+        value = 0.0
+    return value
+
+
 def _lookup_metric(expectation: Expectation,
                    variant_metrics: Dict[str, Dict[str, float]],
                    scenario_metrics: Dict[str, float]
@@ -205,13 +274,7 @@ def _lookup_metric(expectation: Expectation,
         source: Optional[Dict[str, float]] = scenario_metrics
     else:
         source = variant_metrics.get(expectation.variant)
-    if source is None:
-        return None
-    value = source.get(expectation.metric)
-    if value is None and expectation.metric.startswith("errors."):
-        # an error kind that never occurred counts as zero
-        value = 0.0
-    return value
+    return _metric_from(source, expectation.metric)
 
 
 def evaluate_expectations(spec: ScenarioSpec,
@@ -223,14 +286,25 @@ def evaluate_expectations(spec: ScenarioSpec,
     A metric that cannot be resolved (missing variant, unknown name)
     fails its check with ``actual=None`` rather than raising — a
     scenario whose runs errored still reports all its checks.
+    Cross-variant expectations (``than_variant``) read the same metric
+    from both variants and compare them to each other.
     """
     checks = []
     for expectation in spec.expect:
         actual = _lookup_metric(expectation, variant_metrics,
                                 scenario_metrics)
-        passed = actual is not None and expectation.holds(actual)
+        reference = None
+        if expectation.than_variant is not None:
+            reference = _metric_from(
+                variant_metrics.get(expectation.than_variant),
+                expectation.metric)
+            passed = actual is not None and reference is not None \
+                and expectation.holds(actual, reference)
+        else:
+            passed = actual is not None and expectation.holds(actual)
         checks.append(CheckOutcome(expectation=expectation,
-                                   actual=actual, passed=passed))
+                                   actual=actual, passed=passed,
+                                   reference=reference))
     return checks
 
 
@@ -254,35 +328,176 @@ def _render_experiment(spec: ScenarioSpec, batch: BatchResult) -> str:
 
 # ------------------------------------------------------------- running
 def run_scenario(spec: ScenarioSpec, workers: int = 1,
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> ScenarioResult:
-    """Run one scenario and evaluate its expectations."""
+                 progress: Optional[Callable[[str], None]] = None,
+                 executor=None, snapshot: bool = False) -> ScenarioResult:
+    """Run one scenario and evaluate its expectations.
+
+    ``executor`` is any :class:`~repro.experiments.executors.
+    CellExecutor`; by default ``workers`` picks the inline
+    (``workers <= 1``) or process-pool executor, reproducing the
+    pre-executor behaviour exactly.  A passed-in executor is not
+    closed (the caller owns its lifecycle).  ``snapshot`` asks every
+    experiment cell to capture an end-of-run DMV snapshot into its
+    result summary.
+    """
+    return run_scenarios([spec], workers=workers, progress=progress,
+                         executor=executor, snapshot=snapshot)[0]
+
+
+def run_scenarios(specs: List[ScenarioSpec], workers: int = 1,
+                  progress: Optional[Callable[[str], None]] = None,
+                  executor=None, snapshot: bool = False,
+                  on_result: Optional[Callable[["ScenarioResult"], None]]
+                  = None) -> List[ScenarioResult]:
+    """Run a whole selection through one executor submission.
+
+    All cells of all specs go down in a single ``submit`` call, so a
+    pool executor can overlap cells of different scenarios and a
+    stream executor's remote workers drain one queue — exactly the
+    scheduling freedom the determinism contract allows, since results
+    are re-grouped by spec afterwards.
+
+    ``on_result`` is invoked once per scenario, in selection order, as
+    soon as that scenario's result can be finalized — so a long
+    selection renders output and persists artifacts incrementally
+    instead of losing everything when a late scenario (or the process)
+    dies.
+    """
+    from repro.experiments.executors import make_executor, tasks_for_specs
+
     started = time.time()
-    if spec.kind == "monitors":
-        result = _run_monitors(spec)
-    elif spec.kind == "trace":
-        result = _run_trace(spec)
-    else:
-        result = _run_experiment_scenario(spec, workers, progress)
-    result.wall_seconds = time.time() - started
-    return result
+    owns_executor = executor is None
+    if executor is None:
+        executor = make_executor(workers=workers)
+    tasks = tasks_for_specs(specs, snapshot=snapshot)
+    outstanding = {spec.scenario_id: len(spec.variant_names())
+                   for spec in specs}
+    collected: Dict[str, list] = {spec.scenario_id: [] for spec in specs}
+    finalized: Dict[str, ScenarioResult] = {}
+    emit_order = list(specs)
+    emitted = 0
+    results: List[ScenarioResult] = []
+
+    def finalize(spec: ScenarioSpec) -> ScenarioResult:
+        cells = collected[spec.scenario_id]
+        result = scenario_result_from_cells(spec, cells)
+        # one submission, one clock: per-scenario wall attribution is
+        # execution-dependent anyway (a canonically volatile field)
+        result.wall_seconds = (sum(c.wall_seconds for c in cells)
+                               or (time.time() - started)
+                               / max(1, len(specs)))
+        return result
+
+    try:
+        for cell in executor.submit(tasks, progress=progress):
+            scenario_id = cell.cell.scenario_id
+            collected[scenario_id].append(cell)
+            outstanding[scenario_id] -= 1
+            if outstanding[scenario_id] > 0:
+                continue
+            spec = next(s for s in specs
+                        if s.scenario_id == scenario_id)
+            finalized[scenario_id] = finalize(spec)
+            # emit in selection order, as soon as the next-in-line
+            # scenario is complete
+            while emitted < len(emit_order) \
+                    and emit_order[emitted].scenario_id in finalized:
+                result = finalized[emit_order[emitted].scenario_id]
+                results.append(result)
+                emitted += 1
+                if on_result is not None:
+                    on_result(result)
+    finally:
+        if owns_executor:
+            executor.close()
+    # a cancelled or short-yielding executor leaves scenarios
+    # unfinalized; finalize them from whatever cells arrived (missing
+    # experiment cells surface as "never executed" errors)
+    for spec in emit_order[emitted:]:
+        result = finalized.get(spec.scenario_id)
+        if result is None:
+            result = finalize(spec)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results
 
 
-def _run_experiment_scenario(spec: ScenarioSpec, workers: int,
-                             progress) -> ScenarioResult:
-    batch = run_jobs(jobs_for_scenario(spec), workers=workers,
-                     progress=progress)
-    variant_metrics = {name: result_metrics(result)
-                       for name, result in batch.results.items()}
+def scenario_result_from_cells(spec: ScenarioSpec,
+                               cells: List) -> ScenarioResult:
+    """Assemble one scenario's result from its executed cells.
+
+    The executor-independent half of a scenario run: cells may arrive
+    in any order from any executor; metrics, aggregates, checks and
+    the rendered body are derived here in spec variant order, which is
+    what makes artifacts byte-identical across executors.
+    """
+    by_variant = {cell.cell.variant: cell for cell in cells}
+    if spec.kind != "experiment":
+        cell = by_variant.get(spec.variants[0].name)
+        if cell is None:
+            # a cancelled/short-yielding executor: surface the missing
+            # cell as a failed run, mirroring the experiment path
+            batch = BatchResult(errors={
+                spec.variants[0].name: "cell was never executed"})
+            return ScenarioResult(
+                spec=spec, batch=batch,
+                checks=evaluate_expectations(spec, {}, {}))
+        if cell.error is not None:
+            # a monitors/trace renderer failure is a bug, not a result
+            raise RuntimeError(
+                f"scenario {spec.scenario_id!r} cell failed: {cell.error}")
+        metrics = {name: float(value) if isinstance(value, str) else value
+                   for name, value in (cell.scenario_metrics or {}).items()}
+        checks = evaluate_expectations(spec, {}, metrics)
+        return ScenarioResult(spec=spec, batch=None,
+                              scenario_metrics=metrics, checks=checks,
+                              body=cell.body or "")
+
+    errors: Dict[str, str] = {}
+    summaries: Dict[str, dict] = {}
+    for name in spec.variant_names():
+        cell = by_variant.get(name)
+        if cell is None:
+            errors[name] = "cell was never executed"
+        elif cell.error is not None:
+            errors[name] = cell.error
+        else:
+            summaries[name] = cell.summary
+    variant_metrics = {name: metrics_from_summary(summary)
+                       for name, summary in summaries.items()}
     scenario_metrics = _aggregate_metrics(spec, variant_metrics)
     checks = evaluate_expectations(spec, variant_metrics,
                                    scenario_metrics)
+    rebuilt = {name: result_from_summary(summary)
+               for name, summary in summaries.items()}
+    batch = BatchResult(results=rebuilt, errors=errors,
+                        ordered=[rebuilt.get(name)
+                                 for name in spec.variant_names()],
+                        wall_seconds=sum(c.wall_seconds for c in cells))
     return ScenarioResult(
         spec=spec, batch=batch,
         variant_metrics=variant_metrics,
         scenario_metrics=scenario_metrics,
         checks=checks,
-        body=_render_experiment(spec, batch))
+        body=_render_experiment(spec, batch),
+        variant_summaries=summaries)
+
+
+def run_cell_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run a single-cell (monitors/trace) scenario in-process.
+
+    The primitive :func:`~repro.experiments.executors.execute_cell`
+    calls for non-experiment cells — deliberately *not* routed back
+    through an executor.
+    """
+    if spec.kind == "monitors":
+        return _run_monitors(spec)
+    if spec.kind == "trace":
+        return _run_trace(spec)
+    raise ConfigurationError(
+        f"scenario {spec.scenario_id!r} is an experiment scenario; "
+        f"its cells run through the engine, not the figure renderers")
 
 
 def _run_monitors(spec: ScenarioSpec) -> ScenarioResult:
@@ -354,17 +569,23 @@ def scenario_payload(spec: ScenarioSpec, *, ok: bool,
     are only present for experiment scenarios (pass ``None`` to omit
     them, matching a batch-less monitors/trace run).
     """
+    check_docs = []
+    for check in checks:
+        doc = {
+            "expectation": check.expectation.to_dict(),
+            "actual": _json_safe(check.actual),
+            "passed": check.passed,
+        }
+        if check.expectation.than_variant is not None:
+            doc["reference"] = _json_safe(check.reference)
+        check_docs.append(doc)
     payload = {
         "spec": spec.to_dict(),
         "ok": ok,
         "wall_seconds": wall_seconds,
         "scenario_metrics": {name: _json_safe(value) for name, value
                              in sorted(scenario_metrics.items())},
-        "checks": [{
-            "expectation": check.expectation.to_dict(),
-            "actual": _json_safe(check.actual),
-            "passed": check.passed,
-        } for check in checks],
+        "checks": check_docs,
     }
     if errors is not None:
         payload["errors"] = dict(sorted(errors.items()))
@@ -425,14 +646,20 @@ def rebuild_scenario_payload(spec: ScenarioSpec, *, wall_seconds: float,
 
 def write_scenario_artifact(out_dir: str,
                             result: ScenarioResult) -> str:
-    """Write one scenario's ``BENCH_scenario_<id>.json``."""
+    """Write one scenario's ``BENCH_scenario_<id>.json``.
+
+    Experiment results carry the summaries exactly as the executor
+    delivered them (``variant_summaries``), so the written bytes never
+    depend on which executor ran the cells.
+    """
     from repro.experiments.engine import summarize_result
 
     errors = results = None
     if result.batch is not None:
         errors = result.batch.errors
-        results = {name: summarize_result(res)
-                   for name, res in result.batch.results.items()}
+        results = result.variant_summaries or \
+            {name: summarize_result(res)
+             for name, res in result.batch.results.items()}
     payload = scenario_payload(
         result.spec, ok=result.ok, wall_seconds=result.wall_seconds,
         scenario_metrics=result.scenario_metrics, checks=result.checks,

@@ -18,10 +18,13 @@ from repro.config import ServerConfig, default_gateways, paper_server_config
 from repro.errors import ConfigurationError
 
 #: version of the JSON spec format.  ``ScenarioSpec.to_dict`` stamps
-#: it; ``from_dict`` accepts documents without one (they predate
-#: versioning and mean version 1) and rejects versions from the future
-#: so an old build never silently misreads a newer spec file.
-SPEC_FORMAT_VERSION = 1
+#: it; ``from_dict`` accepts documents of this and every older version
+#: (a missing version means version 1, predating versioning) and
+#: rejects versions from the future so an old build never silently
+#: misreads a newer spec file.
+#: History: 1 = the PR 2 format; 2 = cross-variant expectations
+#: (``than_variant``, ``value`` optional).
+SPEC_FORMAT_VERSION = 2
 
 #: comparison operators an Expectation may use
 EXPECTATION_OPS = {
@@ -61,12 +64,20 @@ class Expectation:
     scenario-level aggregate metrics (``total_completed``,
     ``improvement``, …).  ``errors.<kind>`` metrics default to 0 when
     the error kind never occurred.
+
+    Cross-variant form: with ``than_variant`` set, the assertion
+    compares the *same metric* between two variants instead of against
+    a literal ``value`` — e.g. ``{"metric": "failed", "op": "<",
+    "variant": "soft", "than_variant": "hard"}`` asserts that the
+    ``soft`` variant failed less than the ``hard`` one.  ``value``
+    must be omitted in that form (and ``variant`` is required).
     """
 
     metric: str
     op: str
-    value: float
+    value: Optional[float] = None
     variant: Optional[str] = None
+    than_variant: Optional[str] = None
 
     def __post_init__(self):
         if not self.metric:
@@ -75,23 +86,54 @@ class Expectation:
             raise ConfigurationError(
                 f"unknown expectation op {self.op!r}; valid ops: "
                 f"{', '.join(EXPECTATION_OPS)}")
-        if isinstance(self.value, bool) \
+        if self.than_variant is not None:
+            if self.value is not None:
+                raise ConfigurationError(
+                    f"cross-variant expectation on {self.metric!r} takes "
+                    f"either a value or a than_variant, not both")
+            if self.variant is None:
+                raise ConfigurationError(
+                    f"cross-variant expectation on {self.metric!r} needs "
+                    f"a variant to compare from")
+            if self.variant == self.than_variant:
+                raise ConfigurationError(
+                    f"cross-variant expectation on {self.metric!r} "
+                    f"compares variant {self.variant!r} against itself")
+        elif isinstance(self.value, bool) \
                 or not isinstance(self.value, (int, float)):
             raise ConfigurationError(
                 f"expectation value must be a number, "
                 f"got {self.value!r}")
 
-    def holds(self, actual: float) -> bool:
-        return EXPECTATION_OPS[self.op](actual, self.value)
+    def holds(self, actual: float,
+              reference: Optional[float] = None) -> bool:
+        """Whether ``actual`` satisfies the assertion.
+
+        For cross-variant expectations the caller supplies
+        ``reference`` (the ``than_variant``'s metric); plain
+        expectations compare against the literal ``value``.
+        """
+        threshold = reference if self.than_variant is not None \
+            else self.value
+        if threshold is None:
+            return False
+        return EXPECTATION_OPS[self.op](actual, threshold)
 
     def describe(self) -> str:
         where = f"{self.variant}." if self.variant else ""
+        if self.than_variant is not None:
+            return (f"{where}{self.metric} {self.op} "
+                    f"{self.than_variant}.{self.metric}")
         return f"{where}{self.metric} {self.op} {self.value:g}"
 
     def to_dict(self) -> dict:
-        doc = {"metric": self.metric, "op": self.op, "value": self.value}
+        doc = {"metric": self.metric, "op": self.op}
+        if self.value is not None:
+            doc["value"] = self.value
         if self.variant is not None:
             doc["variant"] = self.variant
+        if self.than_variant is not None:
+            doc["than_variant"] = self.than_variant
         return doc
 
     @classmethod
@@ -300,12 +342,13 @@ class ScenarioSpec:
                 f"scenario {self.scenario_id!r} has duplicate variant "
                 f"names: {names}")
         for expectation in self.expect:
-            if expectation.variant is not None \
-                    and expectation.variant not in names:
-                raise ConfigurationError(
-                    f"expectation {expectation.describe()!r} references "
-                    f"unknown variant {expectation.variant!r} "
-                    f"(variants: {', '.join(names)})")
+            for referenced in (expectation.variant,
+                               expectation.than_variant):
+                if referenced is not None and referenced not in names:
+                    raise ConfigurationError(
+                        f"expectation {expectation.describe()!r} "
+                        f"references unknown variant {referenced!r} "
+                        f"(variants: {', '.join(names)})")
 
     # ------------------------------------------------------------ API
     def customized(self, preset: Optional[str] = None,
@@ -394,10 +437,10 @@ def _checked_version(doc: dict, what: str) -> dict:
     if not isinstance(version, int) or isinstance(version, bool):
         raise ConfigurationError(
             f"{what} version must be an integer, got {version!r}")
-    if version != SPEC_FORMAT_VERSION:
+    if not 1 <= version <= SPEC_FORMAT_VERSION:
         raise ConfigurationError(
             f"{what} format version {version} is not supported by this "
-            f"build (understands version {SPEC_FORMAT_VERSION}); "
+            f"build (understands versions 1..{SPEC_FORMAT_VERSION}); "
             f"re-export the spec or upgrade")
     return doc
 

@@ -46,7 +46,7 @@ def repro_commands(path: Path):
 
 def test_docs_exist():
     for name in ("architecture.md", "scenarios.md", "sharding.md",
-                 "cli.md"):
+                 "cli.md", "executors.md"):
         assert (REPO / "docs" / name).is_file(), name
     assert DOC_FILES, "no documentation files found"
 
@@ -55,7 +55,7 @@ def test_docs_exist():
 def test_documented_commands_parse(path):
     """Every documented `repro` invocation must parse cleanly."""
     commands = repro_commands(path)
-    if path.name in ("cli.md", "sharding.md"):
+    if path.name in ("cli.md", "sharding.md", "executors.md"):
         assert commands, f"{path.name} documents no repro commands"
     parser = build_parser()
     for command in commands:
@@ -73,7 +73,8 @@ def test_cli_reference_covers_every_subcommand():
     text = (REPO / "docs" / "cli.md").read_text(encoding="utf-8")
     for command in ("scenarios list", "scenarios describe",
                     "scenarios run", "shards plan", "shards run",
-                    "shards merge", "figure", "sweep", "ablation",
+                    "shards merge", "workers serve", "workers join",
+                    "figure", "sweep", "ablation",
                     "experiments", "query", "monitors"):
         assert f"repro {command}" in text, f"cli.md misses {command!r}"
 

@@ -148,7 +148,9 @@ def test_engine_parallel_matches_serial(tmp_path):
     assert os.path.basename(path) == "BENCH_unit.json"
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    assert doc["schema"] == 3
+    from repro.experiments.engine import ARTIFACT_SCHEMA
+
+    assert doc["schema"] == ARTIFACT_SCHEMA
     assert set(doc["results"]) == {"a", "b"}
     assert doc["results"]["a"]["completed"] == serial.results["a"].completed
     assert doc["errors"] == {}

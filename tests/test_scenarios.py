@@ -222,6 +222,78 @@ def test_expectation_evaluation():
     assert "PASS" in checks[0].describe()
 
 
+def test_cross_variant_expectations():
+    """`than_variant` compares the same metric between two variants."""
+    spec = tiny_spec(expect=(
+        Expectation("failed", "<", variant="throttled",
+                    than_variant="unthrottled"),
+        Expectation("errors.compile_oom", "<=", variant="throttled",
+                    than_variant="unthrottled"),
+        Expectation("completed", ">", variant="unthrottled",
+                    than_variant="throttled"),
+    ))
+    variant_metrics = {
+        "throttled": {"completed": 30.0, "failed": 2.0},
+        "unthrottled": {"completed": 25.0, "failed": 9.0},
+    }
+    checks = evaluate_expectations(spec, variant_metrics, {})
+    assert [c.passed for c in checks] == [True, True, False]
+    # absent error kinds read as zero on both sides
+    assert checks[1].actual == 0.0 and checks[1].reference == 0.0
+    assert checks[0].reference == 9.0
+    assert "throttled.failed < unthrottled.failed" in checks[0].describe()
+    assert "(actual 2 vs 9)" in checks[0].describe()
+    # a missing reference variant fails the check instead of raising
+    partial = evaluate_expectations(spec, {"throttled": {"failed": 1.0}},
+                                    {})
+    assert not partial[0].passed and partial[0].reference is None
+
+
+def test_cross_variant_expectation_validation():
+    ok = Expectation("failed", "<", variant="a", than_variant="b")
+    assert ok.value is None
+    assert Expectation.from_dict(ok.to_dict()) == ok
+    assert ok.to_dict() == {"metric": "failed", "op": "<",
+                            "variant": "a", "than_variant": "b"}
+    with pytest.raises(ConfigurationError, match="not both"):
+        Expectation("failed", "<", 3, variant="a", than_variant="b")
+    with pytest.raises(ConfigurationError, match="needs a variant"):
+        Expectation("failed", "<", than_variant="b")
+    with pytest.raises(ConfigurationError, match="itself"):
+        Expectation("failed", "<", variant="a", than_variant="a")
+    with pytest.raises(ConfigurationError, match="unknown variant"):
+        tiny_spec(expect=(Expectation("failed", "<", variant="throttled",
+                                      than_variant="missing"),))
+    # a plain expectation still requires a numeric value
+    with pytest.raises(ConfigurationError, match="must be a number"):
+        Expectation("failed", "<", None, variant="a")
+
+
+def test_cross_variant_checks_survive_the_artifact_path(tmp_path):
+    """The shard-merge rebuild evaluates cross-variant checks on the
+    same numbers and records the reference in the artifact."""
+    from repro.scenarios import rebuild_scenario_payload
+
+    spec = tiny_spec(expect=(
+        Expectation("completed", "==", variant="throttled",
+                    than_variant="unthrottled"),))
+    summary = {
+        "completed": 10, "failed": 0, "error_counts": {}, "degraded": 0,
+        "retries": 0, "search_replays": 0, "soft_denials": 0,
+        "mean_per_bucket": 1.0, "mean_compile_time": 0.1,
+        "mean_execution_time": 0.2, "memory_by_clerk": {},
+        "gateway_stats": [], "throughput": [], "wall_seconds": 0.5,
+    }
+    payload = rebuild_scenario_payload(
+        spec, wall_seconds=1.0, errors={},
+        results={"throttled": dict(summary),
+                 "unthrottled": dict(summary)})
+    assert payload["ok"]
+    check = payload["checks"][0]
+    assert check["passed"] and check["reference"] == 10.0
+    assert check["expectation"]["than_variant"] == "unthrottled"
+
+
 def test_scenario_level_error_metrics_aggregate_across_variants():
     from repro.scenarios.facade import _aggregate_metrics
 
@@ -366,11 +438,13 @@ def test_run_scenario_from_json_file(tmp_path):
 def test_scenario_artifact_roundtrips(tmp_path):
     from repro.scenarios import write_scenario_artifact
 
+    from repro.experiments.engine import ARTIFACT_SCHEMA
+
     result = run_scenario(tiny_spec())
     path = write_scenario_artifact(str(tmp_path), result)
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    assert doc["schema"] == 3
+    assert doc["schema"] == ARTIFACT_SCHEMA
     assert ScenarioSpec.from_dict(doc["spec"]) == tiny_spec()
     assert set(doc["results"]) == {"throttled", "unthrottled"}
     assert doc["results"]["throttled"]["completed"] > 0

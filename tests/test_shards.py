@@ -12,6 +12,7 @@ import os
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.experiments.engine import ARTIFACT_SCHEMA
 from repro.experiments.shards import (
     ShardCell,
     ShardPlan,
@@ -134,7 +135,8 @@ def fake_summary(completed=10, failed=0, error_counts=None):
 
 def shard_doc(index, count, selection_cells, cells, scenarios):
     return {
-        "schema": 3, "name": f"shard_{index}of{count}", "kind": "shard",
+        "schema": ARTIFACT_SCHEMA, "name": f"shard_{index}of{count}",
+        "kind": "shard",
         "shard": {"index": index, "count": count},
         "selection": {"shard_count": count, "cells": selection_cells},
         "cells": cells, "scenarios": scenarios,
@@ -200,6 +202,38 @@ def test_merge_rejects_missing_shard():
     docs = two_shard_docs(spec)
     with pytest.raises(ConfigurationError, match="missing"):
         merge_documents(docs[:1])
+
+
+def test_merge_reports_every_coverage_defect_at_once():
+    """One failed merge diagnoses the whole artifact set: every
+    missing and overlapping cell lands in a single error."""
+    spec_a, spec_b = tiny_spec("multi-a"), tiny_spec("multi-b", seed=2)
+    selection = [["multi-a", "throttled", 1], ["multi-a", "unthrottled", 1],
+                 ["multi-b", "throttled", 2], ["multi-b", "unthrottled", 2]]
+    docs = [
+        shard_doc(1, 2, selection,
+                  [selection[0], selection[1]],
+                  {"multi-a": {"spec": spec_a.to_dict(), "wall_seconds": 0.1,
+                               "errors": {},
+                               "results": {"throttled": fake_summary(),
+                                           "unthrottled": fake_summary()}}}),
+        # shard 2 re-claims both of shard 1's cells and omits its own
+        shard_doc(2, 2, selection,
+                  [selection[0], selection[1]],
+                  {"multi-a": {"spec": spec_a.to_dict(), "wall_seconds": 0.1,
+                               "errors": {},
+                               "results": {"throttled": fake_summary(),
+                                           "unthrottled": fake_summary()}}}),
+    ]
+    with pytest.raises(ConfigurationError) as excinfo:
+        merge_documents(docs)
+    message = str(excinfo.value)
+    # both overlapping cells and both missing cells, in one error
+    assert "overlapping" in message and "missing" in message
+    assert "multi-a/throttled" in message
+    assert "multi-a/unthrottled" in message
+    assert "multi-b/throttled" in message
+    assert "multi-b/unthrottled" in message
 
 
 def test_merge_rejects_duplicate_shard_index():
@@ -334,7 +368,7 @@ def test_monitors_expectations_match_between_paths(tmp_path):
 
     plan = ShardPlan.partition([spec], 1)
     merge = merge_documents([{
-        "schema": 3, "name": "shard_1of1",
+        "schema": ARTIFACT_SCHEMA, "name": "shard_1of1",
         **run_shard(plan, 1)}])
     assert not merge.ok
     merged_dir = tmp_path / "b"
