@@ -24,11 +24,16 @@ Every run surface submits its cells through one
 :class:`~repro.experiments.executors.CellExecutor`; ``--executor
 {inline,pool,stream}`` picks the implementation (default: inline for
 ``--workers 1``, the process pool otherwise) and results are
-canonically byte-identical whichever one runs the cells.
+canonically byte-identical whichever one runs the cells.  ``--journal
+PATH`` makes the queue durable (kill the coordinator, restart with
+``--resume``: completed cells replay from the journal) and ``--order
+{spec,cost}`` picks the queue order — both are scheduling/durability
+concerns only and never change artifact bytes.
 
 See ``docs/cli.md`` for the full command reference,
-``docs/sharding.md`` for the shard execution model and
-``docs/executors.md`` for the executor protocol and wire format.
+``docs/sharding.md`` for the shard execution model,
+``docs/executors.md`` for the executor protocol and wire format and
+``docs/operations.md`` for the worker-pool/journal runbook.
 
 Examples
 --------
@@ -41,6 +46,8 @@ Examples
     python -m repro shards run --shard 2/4 --all --out shard-artifacts
     python -m repro shards merge shard-artifacts --out bench-artifacts
     python -m repro workers serve --all --bind 127.0.0.1:7731 --out bench
+    python -m repro workers serve --all --journal run.journal --order cost --out bench
+    python -m repro workers serve --all --journal run.journal --resume --out bench
     python -m repro workers join --connect 127.0.0.1:7731
     python -m repro figure 3 --preset smoke
     python -m repro experiments --suite figures --workers 4 --out bench
@@ -118,6 +125,23 @@ def _add_executor_args(parser: argparse.ArgumentParser,
                              "artifacts")
 
 
+def _add_queue_args(parser: argparse.ArgumentParser) -> None:
+    """Queue durability and ordering, shared by every run surface."""
+    parser.add_argument("--order", default="spec",
+                        choices=("spec", "cost"),
+                        help="queue order: spec (selection order) or "
+                             "cost (expected-slowest cells first, from "
+                             "prior journals/artifacts or workload-"
+                             "size heuristics)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="record every dispatched/completed cell "
+                             "to this append-only newline-JSON file; "
+                             "a killed run restarts with --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay completed cells from --journal "
+                             "and run only the outstanding ones")
+
+
 def _executor_from_args(args):
     from repro.experiments.executors import StreamExecutor, make_executor
 
@@ -133,6 +157,45 @@ def _executor_from_args(args):
               f"({executor.spawn_workers} local worker(s); join with: "
               f"repro workers join --connect {host}:{port})")
     return executor
+
+
+def _wrap_journal(executor, args):
+    """Wrap the surface's executor in a run journal when asked to.
+
+    The wrapper owns the inner executor and the journal file; callers
+    close the returned executor exactly as they would the bare one.
+    """
+    from repro.errors import ConfigurationError
+
+    if args.journal is None:
+        if args.resume:
+            raise ConfigurationError(
+                "--resume replays a journal; pass --journal PATH too")
+        return executor
+    from repro.experiments.journal import journaled_executor
+
+    return journaled_executor(executor, args.journal, resume=args.resume)
+
+
+def _scheduler_from_args(args, executor=None):
+    """A cost scheduler fed from whatever history this machine has:
+    the run's own journal (already parsed by the --resume wrapper, so
+    its state is reused rather than re-read) and any artifacts
+    already in --out.  Only built when --order cost asks for one."""
+    if args.order != "cost":
+        return None
+    from repro.experiments.scheduler import (
+        CellScheduler,
+        history_from_state,
+    )
+
+    out_dir = getattr(args, "out", None)
+    scheduler = CellScheduler.from_sources(
+        artifact_dirs=[out_dir] if out_dir else [])
+    state = getattr(executor, "resume_state", None)
+    if state is not None:
+        scheduler.history.update(history_from_state(state))
+    return scheduler
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run scenarios by id, family or JSON spec file")
     _add_selection_args(s_run)
     _add_executor_args(s_run)
+    _add_queue_args(s_run)
     s_run.add_argument("--out", default=None,
                        help="directory for BENCH_scenario_*.json artifacts")
 
@@ -186,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="which shard this process executes "
                              "(1-based), e.g. 2/4")
     _add_executor_args(sh_run)
+    _add_queue_args(sh_run)
     sh_run.add_argument("--out", default="shard-artifacts",
                         help="directory for the BENCH_shard_*.json "
                              "artifact")
@@ -219,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     w_serve.add_argument("--snapshot", action="store_true",
                          help="embed the end-of-run DMV snapshot in "
                               "result artifacts")
+    _add_queue_args(w_serve)
     w_serve.add_argument("--out", default=None,
                          help="directory for BENCH_scenario_*.json "
                               "artifacts")
@@ -271,7 +337,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------- scenarios
 def _run_specs(specs, workers: int = 1, out: Optional[str] = None,
-               executor=None, snapshot: bool = False) -> int:
+               executor=None, snapshot: bool = False,
+               order: str = "spec", scheduler=None) -> int:
     """Run resolved specs; print each render; write artifacts.
 
     One executor, one submission: all specs' cells go down together
@@ -297,7 +364,8 @@ def _run_specs(specs, workers: int = 1, out: Optional[str] = None,
             state["failed"] = True
 
     run_scenarios(specs, workers=workers, executor=executor,
-                  snapshot=snapshot, on_result=emit)
+                  snapshot=snapshot, on_result=emit, order=order,
+                  scheduler=scheduler)
     return 1 if state["failed"] else 0
 
 
@@ -369,10 +437,11 @@ def cmd_scenarios(args) -> int:
         print(json.dumps(spec.to_dict(), indent=2))
         return 0
     specs = _resolve_run_specs(args)
-    executor = _executor_from_args(args)
+    executor = _wrap_journal(_executor_from_args(args), args)
     try:
         return _run_specs(specs, out=args.out, executor=executor,
-                          snapshot=args.snapshot)
+                          snapshot=args.snapshot, order=args.order,
+                          scheduler=_scheduler_from_args(args, executor))
     finally:
         executor.close()
 
@@ -438,10 +507,11 @@ def cmd_shards(args) -> int:
     plan = ShardPlan.partition(specs, count)
     print(f"== shard {index}/{count}: {len(plan.cells_for(index))} of "
           f"{len(plan.all_cells())} cells, workers={args.workers}")
-    executor = _executor_from_args(args)
+    executor = _wrap_journal(_executor_from_args(args), args)
     try:
         payload = run_shard(plan, index, executor=executor,
-                            snapshot=args.snapshot,
+                            snapshot=args.snapshot, order=args.order,
+                            scheduler=_scheduler_from_args(args, executor),
                             progress=lambda line: print(f"   {line}"))
     finally:
         executor.close()
@@ -472,16 +542,18 @@ def cmd_workers(args) -> int:
 
     specs = _resolve_run_specs(args)
     host, port = parse_address(args.bind)
-    executor = StreamExecutor(host=host, port=port,
-                              spawn_workers=args.stream_workers)
+    stream = StreamExecutor(host=host, port=port,
+                            spawn_workers=args.stream_workers)
+    executor = _wrap_journal(stream, args)
     try:
-        bound_host, bound_port = executor.start()
+        bound_host, bound_port = stream.start()
         cells = sum(len(spec.variant_names()) for spec in specs)
         print(f"== serving {cells} cells on {bound_host}:{bound_port} "
               f"(join with: repro workers join "
               f"--connect {bound_host}:{bound_port})")
         return _run_specs(specs, out=args.out, executor=executor,
-                          snapshot=args.snapshot)
+                          snapshot=args.snapshot, order=args.order,
+                          scheduler=_scheduler_from_args(args, executor))
     finally:
         executor.close()
 

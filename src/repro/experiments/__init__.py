@@ -6,7 +6,9 @@ into an :class:`~repro.experiments.runner.ExperimentResult`;
 the design choices the paper reports tuning (monitor count, dynamic
 thresholds, best-plan-so-far); ``executors`` is the pluggable
 cell-execution protocol (inline / process pool / streamed TCP worker
-pool) and ``wire`` its coordinator/worker transport.
+pool) and ``wire`` its coordinator/worker transport; ``journal``
+makes any executor's queue durable (checkpoint/restart) and
+``scheduler`` orders it by expected cost (slowest cells first).
 """
 
 from repro.experiments.runner import (
@@ -35,6 +37,17 @@ from repro.experiments.executors import (
     make_executor,
     tasks_for_specs,
 )
+from repro.experiments.journal import (
+    CellJournal,
+    JournaledExecutor,
+    JournalState,
+    journaled_executor,
+    load_journal,
+)
+from repro.experiments.scheduler import (
+    CellScheduler,
+    order_tasks,
+)
 from repro.experiments.figures import (
     ThroughputComparison,
     figure1_monitors,
@@ -45,13 +58,17 @@ from repro.experiments.figures import (
 __all__ = [
     "BatchResult",
     "CellExecutor",
+    "CellJournal",
     "CellResult",
+    "CellScheduler",
     "CellTask",
     "ExperimentConfig",
     "ExperimentEngine",
     "ExperimentJob",
     "ExperimentResult",
     "InlineExecutor",
+    "JournalState",
+    "JournaledExecutor",
     "PRESETS",
     "PoolExecutor",
     "StreamExecutor",
@@ -60,7 +77,10 @@ __all__ = [
     "figure1_monitors",
     "figure2_trace",
     "figure_suite_jobs",
+    "journaled_executor",
+    "load_journal",
     "make_executor",
+    "order_tasks",
     "run_experiment",
     "run_jobs",
     "saturation_suite_jobs",

@@ -26,6 +26,12 @@ Determinism contract: every simulated number in a result summary is a
 pure function of the cell's config and seed, so all three executors
 produce canonically byte-identical artifacts (pinned by tests; see
 :func:`repro.experiments.shards.canonical_document`).
+
+Two layers compose with any executor rather than being executors
+themselves: :mod:`repro.experiments.journal` wraps one in a durable
+run journal (checkpoint/restart — ``--journal``/``--resume``), and
+:mod:`repro.experiments.scheduler` reorders the submitted queue by
+expected cost (``--order cost``) before it reaches ``submit``.
 """
 
 from __future__ import annotations
@@ -339,6 +345,11 @@ class StreamExecutor(CellExecutor):
     kill-one-worker test pins).
     """
 
+    #: optional claim hook: ``on_dispatch(task)`` fires the moment a
+    #: worker claims a cell (the wire-level dispatch a run journal
+    #: records; see :mod:`repro.experiments.journal`)
+    on_dispatch: Optional[Callable[[CellTask], None]] = None
+
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  spawn_workers: int = 0,
                  timeout: Optional[float] = None):
@@ -388,7 +399,8 @@ class StreamExecutor(CellExecutor):
         for _ in range(max(0, self.spawn_workers - len(self._spawned))):
             self._spawned.append(self._spawn_worker(host, port))
         for result in self._server.serve(tasks, timeout=self.timeout,
-                                         liveness=self._check_spawned):
+                                         liveness=self._check_spawned,
+                                         on_dispatch=self.on_dispatch):
             _note(progress, result)
             yield result
 

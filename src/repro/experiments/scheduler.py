@@ -1,0 +1,233 @@
+"""Latency-aware cell scheduling: run the slow cells first.
+
+Cells are independent, so any order produces the same artifacts — but
+order decides the *tail*: a queue that saves its slowest cell for last
+leaves every other worker idle while one finishes.  A
+:class:`CellScheduler` estimates each cell's wall-clock cost and
+``--order cost`` submits the queue longest-first (LPT scheduling), so
+runtime imbalance is absorbed early while there is still other work to
+overlap with.
+
+Cost estimates come from two sources, best first:
+
+1. **Observed history** — per-cell ``wall_seconds`` recorded in prior
+   run journals (:mod:`repro.experiments.journal`) and in existing
+   ``BENCH_*.json`` artifacts (per-variant summaries carry the wall
+   clock of exactly one cell).
+2. **Workload-size heuristics** — for cells never seen before: an
+   experiment cell's cost scales with how many queries its run will
+   simulate (clients × measured duration / think time, discounted by
+   the preset's optimizer ``fast_factor``); monitors/trace renders are
+   near-free constants.
+
+Ordering is a pure scheduling decision: results are re-grouped by spec
+afterwards, so ``--order cost`` never changes a single artifact byte
+(pinned by tests).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.executors import CellTask
+
+#: queue orders the CLI accepts: ``spec`` (selection order, the
+#: historical behaviour) and ``cost`` (expected-slowest first)
+ORDER_NAMES = ("spec", "cost")
+
+#: heuristic render costs (seconds-ish; only the relative magnitudes
+#: matter) for the cell kinds that never touch the load generator
+_RENDER_COSTS = {"monitors": 0.01, "trace": 0.1}
+
+
+def heuristic_cost(task: CellTask) -> float:
+    """A deterministic expected-cost proxy for a never-observed cell.
+
+    Experiment cells: the number of queries the run will simulate —
+    ``clients × measured window / think time`` — discounted by the
+    preset's ``fast_factor`` (higher = cheaper optimizer searches).
+    Monitors/trace cells render in microseconds and sort last.
+    """
+    from repro.experiments.runner import PRESETS
+
+    spec = task.spec
+    if spec.kind != "experiment":
+        return _RENDER_COSTS.get(spec.kind, 0.01)
+    variant = next((v for v in spec.variants
+                    if v.name == task.cell.variant), None)
+    clients = spec.clients
+    think_time = spec.think_time
+    if variant is not None:
+        if variant.clients is not None:
+            clients = variant.clients
+        if variant.think_time is not None:
+            think_time = variant.think_time
+    preset = PRESETS.get(spec.preset)
+    duration = (preset.warmup + preset.measure) if preset else 3000.0
+    fast_factor = preset.fast_factor if preset else 1.0
+    return clients * duration / max(think_time, 1.0) / max(fast_factor, 1.0)
+
+
+@dataclass
+class CellScheduler:
+    """Orders a cell queue by expected cost, observed over heuristic.
+
+    ``history`` maps :meth:`CellTask.key` labels
+    (``scenario/variant#seed``) to observed wall seconds; cells
+    without history fall back to :func:`heuristic_cost`.
+    """
+
+    history: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_sources(cls, journals: Sequence[str] = (),
+                     artifact_dirs: Sequence[str] = ()
+                     ) -> "CellScheduler":
+        """Build a scheduler from prior journals and artifact dirs.
+
+        Sources are advisory: a path that does not exist or a document
+        that does not carry usable timings contributes nothing (never
+        an error — cost ordering must not make a run *harder* to
+        start).  Later sources win on key collisions: journals are
+        read after artifacts, so the most recent observation of a cell
+        is the one used.
+        """
+        scheduler = cls()
+        for directory in artifact_dirs:
+            scheduler.history.update(history_from_artifacts(directory))
+        for path in journals:
+            scheduler.history.update(history_from_journal(path))
+        return scheduler
+
+    def estimate(self, task: CellTask) -> float:
+        observed = self.history.get(task.key())
+        if observed is not None and observed > 0:
+            return observed
+        return heuristic_cost(task)
+
+    def order(self, tasks: Iterable[CellTask]) -> List[CellTask]:
+        """Expected-slowest first; ties keep submission order (the
+        sort is stable), so the result is fully deterministic."""
+        tasks = list(tasks)
+        return sorted(tasks, key=lambda task: -self.estimate(task))
+
+
+def order_tasks(tasks: Iterable[CellTask], order: str = "spec",
+                scheduler: Optional[CellScheduler] = None
+                ) -> List[CellTask]:
+    """Apply a queue order by name — the one switch every surface uses."""
+    tasks = list(tasks)
+    if order == "spec":
+        return tasks
+    if order == "cost":
+        return (scheduler or CellScheduler()).order(tasks)
+    raise ConfigurationError(
+        f"unknown queue order {order!r}; valid orders: "
+        f"{', '.join(ORDER_NAMES)}")
+
+
+# ------------------------------------------------------- cost history
+def _cell_key(scenario_id: str, variant: str, seed) -> str:
+    return f"{scenario_id}/{variant}#{seed}"
+
+
+def history_from_state(state) -> Dict[str, float]:
+    """Per-cell wall seconds from an already-loaded
+    :class:`~repro.experiments.journal.JournalState` (what a resume
+    has in hand anyway — no second parse of the journal file)."""
+    return {
+        _cell_key(cell.scenario_id, cell.variant, cell.seed):
+            result.wall_seconds
+        for cell, result in state.results.items()
+        if result.ok and result.wall_seconds > 0
+    }
+
+
+def history_from_journal(path: str) -> Dict[str, float]:
+    """Per-cell wall seconds observed in one run journal.
+
+    Tolerant by design: a missing or unparseable journal contributes
+    an empty history (the scheduler's sources are advisory, unlike a
+    ``--resume`` which must parse).
+    """
+    from repro.experiments.journal import load_journal
+
+    try:
+        state = load_journal(path)
+    except ConfigurationError:
+        return {}
+    return history_from_state(state)
+
+
+def history_from_artifacts(directory: str) -> Dict[str, float]:
+    """Per-cell wall seconds recorded in a ``BENCH_*.json`` directory.
+
+    Reads per-variant summaries out of scenario artifacts and shard
+    documents — each summary's ``wall_seconds`` is the wall clock of
+    exactly one cell.  Non-experiment scenarios contribute their
+    single render cell.  Malformed or schema-foreign documents are
+    skipped, never fatal.
+    """
+    history: Dict[str, float] = {}
+    if not os.path.isdir(directory):
+        return history
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(doc, dict):
+            continue
+        if doc.get("kind") == "shard":
+            entries = doc.get("scenarios")
+        elif isinstance(doc.get("spec"), dict):
+            entries = {doc["spec"].get("scenario_id"): doc}
+        else:
+            continue
+        if not isinstance(entries, dict):
+            continue
+        for scenario_id, entry in entries.items():
+            if not isinstance(entry, dict) or not scenario_id:
+                continue
+            history.update(_history_from_entry(scenario_id, entry))
+    return history
+
+
+def _history_from_entry(scenario_id: str, entry: dict) -> Dict[str, float]:
+    spec_doc = entry.get("spec", {})
+    if not isinstance(spec_doc, dict):
+        return {}
+    history: Dict[str, float] = {}
+    if "results" in entry:
+        # an experiment entry, even when every variant errored
+        # (results == {}): per-variant summaries are the only honest
+        # per-cell timings; the scenario-level wall clock includes
+        # errored cells and must not be attributed to any one variant
+        results = entry.get("results")
+        if not isinstance(results, dict):
+            return history
+        for variant, summary in results.items():
+            if not isinstance(summary, dict):
+                continue
+            seed = summary.get("config", {}).get(
+                "seed", spec_doc.get("seed"))
+            wall = summary.get("wall_seconds")
+            if isinstance(wall, (int, float)) and wall > 0:
+                history[_cell_key(scenario_id, variant, seed)] = \
+                    float(wall)
+        return history
+    # monitors/trace: one render cell, timed at the scenario level
+    variants = spec_doc.get("variants") or [{"name": "run"}]
+    name = variants[0].get("name", "run") if isinstance(variants[0], dict) \
+        else "run"
+    wall = entry.get("wall_seconds")
+    if isinstance(wall, (int, float)) and wall > 0:
+        history[_cell_key(scenario_id, name, spec_doc.get("seed"))] = \
+            float(wall)
+    return history

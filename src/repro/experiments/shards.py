@@ -35,7 +35,8 @@ shard documents: each one is a complete scenario and merges as-is.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -54,9 +55,11 @@ from repro.scenarios.spec import ScenarioSpec
 #: (whose summary embeds ``search_replays``); everything else is
 #: pinned.  Corollary: an *expectation* referencing ``wall_seconds``
 #: or ``search_replays`` asserts on the executing process and is
-#: outside the determinism contract (see docs/sharding.md)
+#: outside the determinism contract (see docs/sharding.md).
+#: ``wall_seconds_percentiles`` (the merge summary's per-cell timing
+#: digest) is derived purely from wall clocks and volatile with them.
 VOLATILE_FIELDS = frozenset({"wall_seconds", "search_replays", "python",
-                             "snapshot"})
+                             "snapshot", "wall_seconds_percentiles"})
 
 #: sanity ceiling on shard counts — far above any real deployment,
 #: low enough that a typo'd `--shard 1/2000000000` fails instantly
@@ -207,25 +210,31 @@ class ShardPlan:
 # ----------------------------------------------------------- execution
 def run_shard(plan: ShardPlan, index: int, workers: int = 1,
               progress: Optional[Callable[[str], None]] = None,
-              executor=None, snapshot: bool = False) -> dict:
+              executor=None, snapshot: bool = False,
+              order: str = "spec", scheduler=None) -> dict:
     """Execute one shard of ``plan``; returns the shard document payload.
 
     All owned cells go through one :class:`~repro.experiments.
     executors.CellExecutor` submission (``executor=None`` picks inline
     or the process pool from ``workers``, like every other surface),
-    then re-group into per-scenario entries in selection order.  The
+    then re-group into per-scenario entries in selection order.
+    ``order``/``scheduler`` reorder the owned queue by expected cost
+    exactly as on :func:`~repro.scenarios.facade.run_scenarios` —
+    a scheduling decision only, never visible in the payload.  The
     payload carries everything the merge needs: the owned cells, each
     touched scenario's spec, per-variant result summaries and errors.
     """
     from repro.experiments.executors import CellTask, make_executor
+    from repro.experiments.scheduler import order_tasks
 
     owned = plan.cells_for(index)
     owns_executor = executor is None
     if executor is None:
         executor = make_executor(workers=workers)
-    tasks = [CellTask(cell=cell, spec=plan.spec_for(cell.scenario_id),
-                      snapshot=snapshot)
-             for cell in owned]
+    tasks = order_tasks(
+        [CellTask(cell=cell, spec=plan.spec_for(cell.scenario_id),
+                  snapshot=snapshot)
+         for cell in owned], order=order, scheduler=scheduler)
     try:
         cell_results = list(executor.submit(tasks, progress=progress))
     finally:
@@ -303,6 +312,54 @@ def load_bench_document(path: str) -> dict:
     return doc
 
 
+def wall_seconds_percentiles(values: Iterable[float]) -> dict:
+    """The per-cell wall-clock digest merge summaries carry.
+
+    Nearest-rank percentiles (deterministic, no interpolation) of the
+    observed per-cell ``wall_seconds``.  This is the in-repo data
+    source cost-based ordering falls back on when no journal exists:
+    a prior merge's artifacts say which cells were slow.  Derived
+    entirely from wall clocks, so the whole digest is canonically
+    volatile (see :data:`VOLATILE_FIELDS`).
+    """
+    values = sorted(float(v) for v in values
+                    if isinstance(v, (int, float)))
+    if not values:
+        return {"cells": 0, "p50": 0.0, "p90": 0.0, "max": 0.0}
+
+    def rank(quantile: float) -> float:
+        position = math.ceil(quantile * len(values)) - 1
+        return values[min(len(values) - 1, max(0, position))]
+
+    return {"cells": len(values), "p50": rank(0.5), "p90": rank(0.9),
+            "max": values[-1]}
+
+
+def _entry_cell_walls(entry: dict) -> List[float]:
+    """Per-cell wall seconds one shard entry / scenario doc carries.
+
+    Experiment entries time each variant cell in its summary;
+    monitors/trace entries time their single render cell at the
+    scenario level.  Untimed cells — errored variants, missing or
+    zero ``wall_seconds`` — contribute nothing: a phantom ``0.0``
+    would inflate the digest's cell count and drag its percentiles
+    toward zero.
+    """
+    if "results" in entry:
+        # an experiment entry — even all-errored ones (results == {}),
+        # whose scenario-level wall clock covers failed cells and must
+        # not masquerade as one timed render cell
+        results = entry.get("results")
+        walls = [summary.get("wall_seconds")
+                 for summary in results.values()
+                 if isinstance(summary, dict)] \
+            if isinstance(results, dict) else []
+    else:
+        walls = [entry.get("wall_seconds")]
+    return [float(wall) for wall in walls
+            if isinstance(wall, (int, float)) and wall > 0]
+
+
 @dataclass
 class MergeResult:
     """Everything one merge produced.
@@ -310,13 +367,16 @@ class MergeResult:
     ``scenarios`` maps scenario id to its rebuilt per-scenario artifact
     payload (plan order, then standalone artifacts in input order);
     ``shard_count``/``cells_total`` describe the merged plan (0 when
-    only pre-shard standalone artifacts were merged).
+    only pre-shard standalone artifacts were merged);
+    ``cell_wall_seconds`` are the observed per-cell wall clocks the
+    summary digests for cost-based ordering.
     """
 
     scenarios: Dict[str, dict]
     shard_count: int = 0
     cells_total: int = 0
     sources: int = 0
+    cell_wall_seconds: List[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -331,6 +391,8 @@ class MergeResult:
             "cells_total": self.cells_total,
             "sources": self.sources,
             "ok": self.ok,
+            "wall_seconds_percentiles":
+                wall_seconds_percentiles(self.cell_wall_seconds),
             "scenarios": {scenario_id: payload["ok"]
                           for scenario_id, payload in
                           self.scenarios.items()},
@@ -469,6 +531,7 @@ def merge_documents(docs: Sequence[dict]) -> MergeResult:
     shard_count = cells_total = 0
     merged: Dict[str, dict] = {}
     spec_docs: Dict[str, dict] = {}
+    cell_walls: List[float] = []
     if shard_docs:
         shard_count, cells_total = _validate_shard_coverage(shard_docs)
         shard_docs.sort(key=lambda doc: doc["shard"]["index"])
@@ -494,6 +557,7 @@ def merge_documents(docs: Sequence[dict]) -> MergeResult:
                 slot["results"].update(entry.get("results", {}))
                 if "scenario_metrics" in entry:
                     slot["scenario_metrics"] = entry["scenario_metrics"]
+                cell_walls.extend(_entry_cell_walls(entry))
             _check_claimed_cells_have_data(doc)
         # plan order, not shard-arrival order
         order = []
@@ -518,6 +582,7 @@ def merge_documents(docs: Sequence[dict]) -> MergeResult:
             "results": doc.get("results", {}),
             "scenario_metrics": doc.get("scenario_metrics", {}),
         }
+        cell_walls.extend(_entry_cell_walls(doc))
 
     scenarios: Dict[str, dict] = {}
     for scenario_id, slot in merged.items():
@@ -539,7 +604,8 @@ def merge_documents(docs: Sequence[dict]) -> MergeResult:
                 f"malformed: {type(exc).__name__}: {exc}") from None
         scenarios[scenario_id] = payload
     return MergeResult(scenarios=scenarios, shard_count=shard_count,
-                       cells_total=cells_total, sources=len(docs))
+                       cells_total=cells_total, sources=len(docs),
+                       cell_wall_seconds=cell_walls)
 
 
 def merge_artifact_files(paths: Iterable[str]) -> MergeResult:

@@ -127,6 +127,8 @@ class CellQueueServer:
         self.requeues = 0
         self.workers_seen = 0
         self.active_workers = 0
+        #: per-batch claim callback (see :meth:`serve`)
+        self._on_dispatch: Optional[Callable] = None
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> Tuple[str, int]:
@@ -175,7 +177,8 @@ class CellQueueServer:
 
     # -- serving ---------------------------------------------------------
     def serve(self, tasks: Iterable, timeout: Optional[float] = None,
-              liveness: Optional[Callable[[], None]] = None) -> Iterator:
+              liveness: Optional[Callable[[], None]] = None,
+              on_dispatch: Optional[Callable] = None) -> Iterator:
         """Enqueue ``tasks``; yield one result per cell as delivered.
 
         ``timeout`` bounds the wait for *each* next result; expiring
@@ -183,9 +186,12 @@ class CellQueueServer:
         (a hung or worker-less queue fails loudly, never silently).
         ``liveness`` is invoked every few seconds while waiting; it may
         raise to abort the wait (the stream executor uses it to detect
-        that every worker it spawned has died).
+        that every worker it spawned has died).  ``on_dispatch(task)``
+        is invoked from the handling thread each time a worker claims
+        a cell — the wire-level dispatch moment a run journal records.
         """
         self.start()
+        self._on_dispatch = on_dispatch
         tasks = list(tasks)
         expected = {task.cell for task in tasks}
         if len(expected) != len(tasks):
@@ -288,6 +294,9 @@ class CellQueueServer:
                         send_message(stream, {"op": "drain"})
                         return
                     assigned = task
+                    dispatch = self._on_dispatch
+                    if dispatch is not None:
+                        dispatch(task)
                     send_message(stream, {"op": "cell",
                                           "task": task.to_doc()})
                 elif op == "result":

@@ -348,7 +348,8 @@ def run_scenarios(specs: List[ScenarioSpec], workers: int = 1,
                   progress: Optional[Callable[[str], None]] = None,
                   executor=None, snapshot: bool = False,
                   on_result: Optional[Callable[["ScenarioResult"], None]]
-                  = None) -> List[ScenarioResult]:
+                  = None, order: str = "spec",
+                  scheduler=None) -> List[ScenarioResult]:
     """Run a whole selection through one executor submission.
 
     All cells of all specs go down in a single ``submit`` call, so a
@@ -357,6 +358,11 @@ def run_scenarios(specs: List[ScenarioSpec], workers: int = 1,
     scheduling freedom the determinism contract allows, since results
     are re-grouped by spec afterwards.
 
+    ``order`` picks the queue order (``spec`` = selection order,
+    ``cost`` = expected-slowest first via the optional
+    :class:`~repro.experiments.scheduler.CellScheduler`); because of
+    that re-grouping it affects wall clock only, never artifact bytes.
+
     ``on_result`` is invoked once per scenario, in selection order, as
     soon as that scenario's result can be finalized — so a long
     selection renders output and persists artifacts incrementally
@@ -364,12 +370,14 @@ def run_scenarios(specs: List[ScenarioSpec], workers: int = 1,
     dies.
     """
     from repro.experiments.executors import make_executor, tasks_for_specs
+    from repro.experiments.scheduler import order_tasks
 
     started = time.time()
     owns_executor = executor is None
     if executor is None:
         executor = make_executor(workers=workers)
-    tasks = tasks_for_specs(specs, snapshot=snapshot)
+    tasks = order_tasks(tasks_for_specs(specs, snapshot=snapshot),
+                        order=order, scheduler=scheduler)
     outstanding = {spec.scenario_id: len(spec.variant_names())
                    for spec in specs}
     collected: Dict[str, list] = {spec.scenario_id: [] for spec in specs}

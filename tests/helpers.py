@@ -1,0 +1,43 @@
+"""Shared builders for executor/journal/scheduler tests.
+
+Kept out of conftest so the helpers are explicit imports, and named
+(not ``test_*``) so pytest never collects it.
+"""
+
+import json
+
+from repro.experiments.shards import canonical_document
+from repro.scenarios import ConfigOverrides, ScenarioSpec, VariantSpec
+
+
+def monitors_spec(scenario_id) -> ScenarioSpec:
+    """A render-only scenario: one near-instant cell."""
+    return ScenarioSpec(scenario_id=scenario_id, title="Monitors",
+                        family="test", kind="monitors", workload="sales",
+                        clients=1, render="monitors")
+
+
+def experiment_spec(scenario_id, clients=2, **overrides) -> ScenarioSpec:
+    """A tiny two-variant experiment scenario (smoke preset)."""
+    defaults = dict(
+        scenario_id=scenario_id,
+        title="Tiny test scenario",
+        family="test",
+        workload="oltp",
+        clients=clients,
+        preset="smoke",
+        seed=1,
+        think_time=5.0,
+        variants=(
+            VariantSpec("throttled", ConfigOverrides(throttling=True)),
+            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
+        ),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def canonical_text(path) -> str:
+    """One artifact's canonical form as a comparable string."""
+    with open(path, encoding="utf-8") as fh:
+        return json.dumps(canonical_document(json.load(fh)))

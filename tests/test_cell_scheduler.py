@@ -1,0 +1,190 @@
+"""Tests for latency-aware cell scheduling (``--order cost``).
+
+Ordering is a pure scheduling decision: the fast tests pin the order
+itself (observed history beats heuristics, heuristics scale with
+workload size, ties stay stable) and the sources it is derived from;
+the slow test pins the invariant that matters — a cost-ordered run's
+artifacts are canonically byte-identical to a spec-ordered run's.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.executors import InlineExecutor, tasks_for_specs
+from repro.experiments.scheduler import (
+    CellScheduler,
+    heuristic_cost,
+    history_from_artifacts,
+    history_from_journal,
+    order_tasks,
+)
+from repro.scenarios import VariantSpec, run_scenarios, \
+    write_scenario_artifact
+
+from helpers import canonical_text, experiment_spec, monitors_spec
+
+
+# ------------------------------------------------------------ ordering
+def test_spec_order_is_identity_and_unknown_orders_fail():
+    tasks = tasks_for_specs([experiment_spec("sc-a"), monitors_spec("sc-m")])
+    assert order_tasks(tasks, "spec") == tasks
+    assert order_tasks(tasks) == tasks
+    with pytest.raises(ConfigurationError, match="valid orders"):
+        order_tasks(tasks, "alphabetical")
+
+
+def test_cost_order_puts_expensive_cells_first():
+    """Heuristic ordering: bigger client counts first, render cells
+    (monitors) last, ties in submission order (stable sort)."""
+    specs = [monitors_spec("sc-mon"), experiment_spec("sc-small", clients=2),
+             experiment_spec("sc-big", clients=30)]
+    ordered = order_tasks(tasks_for_specs(specs), "cost")
+    ids = [task.cell.scenario_id for task in ordered]
+    assert ids == ["sc-big", "sc-big", "sc-small", "sc-small", "sc-mon"]
+    # within a scenario, equal-cost variants keep spec order
+    assert [t.cell.variant for t in ordered[:2]] \
+        == ["throttled", "unthrottled"]
+
+
+def test_heuristic_scales_with_workload_size():
+    small, big = experiment_spec("sc-s", clients=2), \
+        experiment_spec("sc-b", clients=30)
+    task_small = tasks_for_specs([small])[0]
+    task_big = tasks_for_specs([big])[0]
+    assert heuristic_cost(task_big) > heuristic_cost(task_small)
+    # per-variant client overrides count
+    overridden = experiment_spec("sc-v", clients=2, variants=(
+        VariantSpec("huge", clients=40), VariantSpec("tiny")))
+    tasks = {t.cell.variant: t for t in tasks_for_specs([overridden])}
+    assert heuristic_cost(tasks["huge"]) > heuristic_cost(tasks["tiny"])
+    # render cells are near-free
+    assert heuristic_cost(tasks_for_specs([monitors_spec("sc-m")])[0]) \
+        < heuristic_cost(task_small)
+
+
+def test_observed_history_beats_heuristics():
+    """A cell the history says was slow schedules first, whatever the
+    heuristic thinks of its client count."""
+    specs = [experiment_spec("sc-fast", clients=30),
+             experiment_spec("sc-slow", clients=2)]
+    tasks = tasks_for_specs(specs)
+    scheduler = CellScheduler(history={
+        "sc-slow/throttled#1": 500.0, "sc-slow/unthrottled#1": 400.0,
+        "sc-fast/throttled#1": 1.0, "sc-fast/unthrottled#1": 1.0})
+    ordered = scheduler.order(tasks)
+    assert [t.key() for t in ordered] == [
+        "sc-slow/throttled#1", "sc-slow/unthrottled#1",
+        "sc-fast/throttled#1", "sc-fast/unthrottled#1"]
+
+
+# ------------------------------------------------------------- sources
+def test_history_from_journal(tmp_path):
+    from repro.experiments.executors import CellResult
+    from repro.experiments.journal import CellJournal, selection_fingerprint
+
+    tasks = tasks_for_specs([experiment_spec("sc-j")])
+    path = str(tmp_path / "run.journal")
+    journal = CellJournal(path)
+    journal.open_run(selection_fingerprint(tasks))
+    journal.record_result(CellResult(cell=tasks[0].cell, wall_seconds=7.5,
+                                     summary={"completed": 1}))
+    # errored and zero-wall results contribute nothing
+    journal.record_result(CellResult(cell=tasks[1].cell, error="boom"))
+    journal.close()
+    assert history_from_journal(path) == {"sc-j/throttled#1": 7.5}
+    # advisory source: a missing journal is an empty history
+    assert history_from_journal(str(tmp_path / "nope.journal")) == {}
+
+
+def test_history_from_artifacts(tmp_path):
+    spec = experiment_spec("sc-art")
+    doc = {
+        "schema": 4,
+        "spec": spec.to_dict(),
+        "results": {
+            "throttled": {"config": {"seed": 1}, "wall_seconds": 3.25},
+            "unthrottled": {"config": {"seed": 1}, "wall_seconds": 0.0},
+        },
+    }
+    (tmp_path / "BENCH_scenario_sc-art.json").write_text(json.dumps(doc))
+    mon = monitors_spec("sc-artm")
+    (tmp_path / "BENCH_scenario_sc-artm.json").write_text(json.dumps(
+        {"schema": 4, "spec": mon.to_dict(), "wall_seconds": 0.5}))
+    (tmp_path / "BENCH_broken.json").write_text("not json")
+    # malformed-but-JSON documents are skipped, never fatal: the
+    # sources are advisory and must not stop a run from starting
+    (tmp_path / "BENCH_badspec.json").write_text(json.dumps(
+        {"schema": 4, "spec": "oops", "wall_seconds": 9.9}))
+    (tmp_path / "BENCH_badshard.json").write_text(json.dumps(
+        {"schema": 4, "kind": "shard", "scenarios": ["not", "a", "map"]}))
+    # an all-errored experiment entry (results == {}) contributes
+    # nothing: its scenario-level wall covers failed cells
+    (tmp_path / "BENCH_allerr.json").write_text(json.dumps(
+        {"schema": 4, "spec": experiment_spec("sc-err").to_dict(),
+         "results": {}, "errors": {"throttled": "boom"},
+         "wall_seconds": 12.5}))
+    history = history_from_artifacts(str(tmp_path))
+    assert history == {"sc-art/throttled#1": 3.25, "sc-artm/run#3": 0.5}
+    assert history_from_artifacts(str(tmp_path / "missing")) == {}
+    scheduler = CellScheduler.from_sources(artifact_dirs=[str(tmp_path)])
+    assert scheduler.history["sc-art/throttled#1"] == 3.25
+
+
+def test_history_from_shard_documents(tmp_path):
+    spec = experiment_spec("sc-shard")
+    doc = {
+        "schema": 4,
+        "kind": "shard",
+        "shard": {"index": 1, "count": 2},
+        "scenarios": {
+            "sc-shard": {
+                "spec": spec.to_dict(),
+                "results": {"throttled": {"config": {"seed": 1},
+                                          "wall_seconds": 9.0}},
+            },
+        },
+    }
+    (tmp_path / "BENCH_shard_1of2.json").write_text(json.dumps(doc))
+    assert history_from_artifacts(str(tmp_path)) \
+        == {"sc-shard/throttled#1": 9.0}
+
+
+# ---------------------------------------------------- artifact identity
+def test_cost_order_never_changes_artifact_bytes_fast(tmp_path):
+    """Cheap pin with render cells: cost order vs spec order, same
+    canonical artifacts."""
+    specs = [monitors_spec(f"sc-id-{i}") for i in range(3)]
+    for order, out in (("spec", "a"), ("cost", "b")):
+        results = run_scenarios(specs, executor=InlineExecutor(),
+                                order=order)
+        for result in results:
+            write_scenario_artifact(str(tmp_path / out), result)
+    for spec in specs:
+        name = f"BENCH_scenario_{spec.scenario_id}.json"
+        assert canonical_text(tmp_path / "a" / name) \
+            == canonical_text(tmp_path / "b" / name)
+
+
+@pytest.mark.slow
+def test_cost_order_never_changes_artifact_bytes(tmp_path):
+    """The acceptance pin: a cost-ordered experiment run (history
+    forcing a genuinely different queue order) writes canonically
+    byte-identical artifacts to a spec-ordered run."""
+    specs = [experiment_spec("sc-real-a", expect=()),
+             experiment_spec("sc-real-b", expect=())]
+    scheduler = CellScheduler(history={
+        "sc-real-b/unthrottled#1": 100.0, "sc-real-a/throttled#1": 0.5})
+    tasks = tasks_for_specs(specs)
+    assert [t.key() for t in scheduler.order(tasks)] \
+        != [t.key() for t in tasks]
+    for order, out in (("spec", "a"), ("cost", "b")):
+        results = run_scenarios(specs, executor=InlineExecutor(),
+                                order=order, scheduler=scheduler)
+        for result in results:
+            write_scenario_artifact(str(tmp_path / out), result)
+    for spec in specs:
+        name = f"BENCH_scenario_{spec.scenario_id}.json"
+        assert canonical_text(tmp_path / "a" / name) \
+            == canonical_text(tmp_path / "b" / name)

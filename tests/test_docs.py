@@ -1,13 +1,16 @@
-"""Docs checks: every documented command parses, every link resolves.
+"""Docs checks: commands parse, flags exist, links resolve.
 
 The lightweight runner behind the `docs` CI job.  It extracts every
 ``repro …`` / ``python -m repro …`` line from fenced code blocks in
 ``docs/*.md`` and ``README.md`` and verifies it parses against the
 real argument parser (`--help`-level verification: no scenario is
-executed), and it checks that every relative markdown link points at a
-file that exists.  Documentation that drifts from the CLI fails CI.
+executed), it checks that every ``--flag`` the docs mention anywhere
+(prose included) is a flag some ``repro`` subcommand actually accepts,
+and it checks that every relative markdown link points at a file that
+exists.  Documentation that drifts from the CLI fails CI.
 """
 
+import argparse
 import re
 import shlex
 from pathlib import Path
@@ -21,6 +24,12 @@ DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
 
 FENCE = re.compile(r"```.*?\n(.*?)```", re.DOTALL)
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG = re.compile(r"--[a-zA-Z][a-zA-Z0-9-]*")
+
+#: long options mentioned in docs that belong to other tools we
+#: document invoking (add here deliberately, never to paper over a
+#: renamed repro flag)
+FOREIGN_FLAGS: frozenset = frozenset()
 
 
 def fenced_blocks(text: str):
@@ -46,7 +55,7 @@ def repro_commands(path: Path):
 
 def test_docs_exist():
     for name in ("architecture.md", "scenarios.md", "sharding.md",
-                 "cli.md", "executors.md"):
+                 "cli.md", "executors.md", "operations.md"):
         assert (REPO / "docs" / name).is_file(), name
     assert DOC_FILES, "no documentation files found"
 
@@ -55,7 +64,8 @@ def test_docs_exist():
 def test_documented_commands_parse(path):
     """Every documented `repro` invocation must parse cleanly."""
     commands = repro_commands(path)
-    if path.name in ("cli.md", "sharding.md", "executors.md"):
+    if path.name in ("cli.md", "sharding.md", "executors.md",
+                     "operations.md"):
         assert commands, f"{path.name} documents no repro commands"
     parser = build_parser()
     for command in commands:
@@ -65,6 +75,35 @@ def test_documented_commands_parse(path):
         except SystemExit as exc:  # argparse reports errors via exit(2)
             pytest.fail(f"{path.name}: `repro {command}` does not "
                         f"parse (exit {exc.code})")
+
+
+def parser_flags(parser=None) -> set:
+    """Every long option any (sub)command accepts, walked recursively."""
+    parser = parser or build_parser()
+    flags = set()
+    stack = [parser]
+    while stack:
+        current = stack.pop()
+        for action in current._actions:
+            flags.update(option for option in action.option_strings
+                         if option.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return flags
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_documented_flags_exist(path):
+    """Every `--flag` the docs mention — in prose or code — must be
+    accepted by some repro subcommand.  A flag renamed or removed in
+    the CLI fails here instead of lingering as stale documentation."""
+    known = parser_flags() | FOREIGN_FLAGS
+    text = path.read_text(encoding="utf-8")
+    stale = sorted({flag for flag in FLAG.findall(text)
+                    if flag not in known})
+    assert not stale, (
+        f"{path.name} references flag(s) no repro command accepts: "
+        f"{', '.join(stale)}")
 
 
 def test_cli_reference_covers_every_subcommand():

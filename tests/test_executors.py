@@ -36,37 +36,17 @@ from repro.experiments.wire import (
     send_message,
 )
 from repro.scenarios import (
-    ConfigOverrides,
     ScenarioSpec,
     VariantSpec,
     run_scenario,
     write_scenario_artifact,
 )
 
+from helpers import canonical_text, experiment_spec, monitors_spec
+
 
 def tiny_spec(scenario_id="ex-tiny", **overrides) -> ScenarioSpec:
-    defaults = dict(
-        scenario_id=scenario_id,
-        title="Tiny executor-test scenario",
-        family="test",
-        workload="oltp",
-        clients=2,
-        preset="smoke",
-        seed=1,
-        think_time=5.0,
-        variants=(
-            VariantSpec("throttled", ConfigOverrides(throttling=True)),
-            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
-        ),
-    )
-    defaults.update(overrides)
-    return ScenarioSpec(**defaults)
-
-
-def monitors_spec(scenario_id) -> ScenarioSpec:
-    return ScenarioSpec(scenario_id=scenario_id, title="Monitors",
-                        family="test", kind="monitors", workload="sales",
-                        clients=1, render="monitors")
+    return experiment_spec(scenario_id, **overrides)
 
 
 # ------------------------------------------------------------ documents
@@ -380,11 +360,6 @@ def test_stream_timeout_names_outstanding_cells():
 
 
 # ------------------------------------------------- pinned equivalence
-def canonical_text(path) -> str:
-    with open(path, encoding="utf-8") as fh:
-        return json.dumps(canonical_document(json.load(fh)))
-
-
 @pytest.mark.slow
 def test_executor_equivalence_is_byte_identical(tmp_path):
     """The acceptance pin: one scenario through Inline, Pool and a

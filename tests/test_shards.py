@@ -21,11 +21,11 @@ from repro.experiments.shards import (
     merge_documents,
     parse_shard_selector,
     run_shard,
+    wall_seconds_percentiles,
     write_merged_artifacts,
     write_shard_artifact,
 )
 from repro.scenarios import (
-    ConfigOverrides,
     Expectation,
     ScenarioSpec,
     VariantSpec,
@@ -35,31 +35,22 @@ from repro.scenarios import (
 )
 from repro import cli
 
+from helpers import experiment_spec
+from helpers import canonical_text as canonical_file
+from helpers import monitors_spec as _monitors_spec
+
 
 def tiny_spec(scenario_id="tiny-a", seed=1, **overrides) -> ScenarioSpec:
     defaults = dict(
-        scenario_id=scenario_id,
-        title="Tiny shard-test scenario",
-        family="test",
-        workload="oltp",
-        clients=2,
-        preset="smoke",
         seed=seed,
-        think_time=5.0,
-        variants=(
-            VariantSpec("throttled", ConfigOverrides(throttling=True)),
-            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
-        ),
         expect=(Expectation("completed", ">", 0, variant="throttled"),),
     )
     defaults.update(overrides)
-    return ScenarioSpec(**defaults)
+    return experiment_spec(scenario_id, **defaults)
 
 
 def monitors_spec(scenario_id="tiny-mon") -> ScenarioSpec:
-    return ScenarioSpec(scenario_id=scenario_id, title="Monitors",
-                        family="test", kind="monitors", workload="sales",
-                        clients=1, render="monitors")
+    return _monitors_spec(scenario_id)
 
 
 # ---------------------------------------------------------------- plan
@@ -377,6 +368,59 @@ def test_monitors_expectations_match_between_paths(tmp_path):
         == canonical_file(merged_dir / "BENCH_scenario_mon-exp.json")
 
 
+def test_merge_summary_records_wall_seconds_percentiles():
+    """The merge summary digests per-cell wall clocks (the in-repo
+    data source `--order cost` falls back on), and the digest is
+    canonically volatile — derived from wall clocks, zeroed with
+    them."""
+    spec = tiny_spec("ptile", expect=())
+    docs = two_shard_docs(spec)
+    scenarios_1 = docs[0]["scenarios"]["ptile"]["results"]
+    scenarios_2 = docs[1]["scenarios"]["ptile"]["results"]
+    scenarios_1["throttled"]["wall_seconds"] = 4.0
+    scenarios_2["unthrottled"]["wall_seconds"] = 1.0
+    merge = merge_documents(docs)
+    assert sorted(merge.cell_wall_seconds) == [1.0, 4.0]
+    summary = merge.summary_payload()
+    assert summary["wall_seconds_percentiles"] \
+        == {"cells": 2, "p50": 1.0, "p90": 4.0, "max": 4.0}
+    assert canonical_document(summary)["wall_seconds_percentiles"] == 0
+
+    # a standalone (pre-shard) scenario artifact contributes its cells
+    single = {"schema": ARTIFACT_SCHEMA, "name": "scenario_solo",
+              "spec": tiny_spec("solo", expect=()).to_dict(),
+              "wall_seconds": 9.0, "errors": {},
+              "results": {"throttled": fake_summary(),
+                          "unthrottled": fake_summary()}}
+    walls = merge_documents([single]).cell_wall_seconds
+    assert walls == [0.5, 0.5]  # per-variant summaries, not the total
+
+
+def test_wall_seconds_percentiles_digest():
+    assert wall_seconds_percentiles([]) \
+        == {"cells": 0, "p50": 0.0, "p90": 0.0, "max": 0.0}
+    digest = wall_seconds_percentiles([5.0, 1.0, 3.0, 2.0, 4.0])
+    assert digest == {"cells": 5, "p50": 3.0, "p90": 5.0, "max": 5.0}
+    # non-numeric junk from hand-edited artifacts is skipped
+    assert wall_seconds_percentiles([1.0, "fast", None])["cells"] == 1
+
+
+def test_entry_cell_walls_skips_untimed_cells():
+    """Untimed cells (errored variants, zero/missing walls) never
+    pollute the digest with phantom zeros."""
+    from repro.experiments.shards import _entry_cell_walls
+
+    assert _entry_cell_walls({"results": {
+        "a": {"wall_seconds": 2.0}, "b": {"wall_seconds": 0.0}}}) == [2.0]
+    # an all-errored experiment entry contributes nothing — its
+    # scenario-level wall clock covers failed cells and must not
+    # masquerade as one timed render cell
+    assert _entry_cell_walls({"results": {}, "errors": {"a": "boom"},
+                              "wall_seconds": 12.5}) == []
+    # a monitors/trace entry contributes its single timed cell
+    assert _entry_cell_walls({"wall_seconds": 0.25}) == [0.25]
+
+
 def test_canonical_document_zeroes_volatile_fields_only():
     doc = {"wall_seconds": 1.5, "search_replays": 7, "python": "3.12",
            "completed": 9,
@@ -392,11 +436,6 @@ def test_canonical_document_zeroes_volatile_fields_only():
 
 
 # --------------------------------------------------- pinned equivalence
-def canonical_file(path):
-    with open(path, encoding="utf-8") as fh:
-        return json.dumps(canonical_document(json.load(fh)))
-
-
 @pytest.mark.slow
 def test_single_shard_merge_is_identity(tmp_path):
     """N=1: one shard owns everything; the merge must reproduce the
