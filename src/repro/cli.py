@@ -13,6 +13,9 @@ Commands
 ``ablation``     run one of the design ablations
 ``experiments``  fan a whole suite out across workers and write
                  ``BENCH_*.json`` artifacts
+``results``      the cross-run results warehouse: ``load`` BENCH
+                 artifact dirs / journals, then ``query`` / ``diff`` /
+                 ``trend`` / ``radar`` across runs
 ``query``        compile + execute one ad-hoc query and print the report
 ``monitors``     print the memory-monitor ladder
 
@@ -51,6 +54,9 @@ Examples
     python -m repro workers join --connect 127.0.0.1:7731
     python -m repro figure 3 --preset smoke
     python -m repro experiments --suite figures --workers 4 --out bench
+    python -m repro results load bench --db results.sqlite
+    python -m repro results diff prev latest --db results.sqlite
+    python -m repro results radar prev latest --db results.sqlite
     python -m repro query --workload mixed --seed 7
     python -m repro ablation gateways --clients 30
 """
@@ -140,6 +146,10 @@ def _add_queue_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="replay completed cells from --journal "
                              "and run only the outstanding ones")
+    parser.add_argument("--warehouse", default=None, metavar="PATH",
+                        help="results-warehouse sqlite file (see "
+                             "`repro results`) whose observed per-cell "
+                             "wall seconds feed --order cost")
 
 
 def _executor_from_args(args):
@@ -180,8 +190,9 @@ def _wrap_journal(executor, args):
 def _scheduler_from_args(args, executor=None):
     """A cost scheduler fed from whatever history this machine has:
     the run's own journal (already parsed by the --resume wrapper, so
-    its state is reused rather than re-read) and any artifacts
-    already in --out.  Only built when --order cost asks for one."""
+    its state is reused rather than re-read), any artifacts already
+    in --out, and the --warehouse trajectory when given.  Only built
+    when --order cost asks for one."""
     if args.order != "cost":
         return None
     from repro.experiments.scheduler import (
@@ -190,8 +201,10 @@ def _scheduler_from_args(args, executor=None):
     )
 
     out_dir = getattr(args, "out", None)
+    warehouse = getattr(args, "warehouse", None)
     scheduler = CellScheduler.from_sources(
-        artifact_dirs=[out_dir] if out_dir else [])
+        artifact_dirs=[out_dir] if out_dir else [],
+        warehouses=[warehouse] if warehouse else [])
     state = getattr(executor, "resume_state", None)
     if state is not None:
         scheduler.history.update(history_from_state(state))
@@ -324,6 +337,88 @@ def build_parser() -> argparse.ArgumentParser:
                      help="embed the end-of-run DMV snapshot in each "
                           "run's artifact summary")
     _add_common(exp)
+
+    from repro.results.radar import DEFAULT_REGRESSION_THRESHOLD
+
+    res = sub.add_parser(
+        "results",
+        help="cross-run results warehouse (load / query / diff / "
+             "trend / radar)")
+    res_sub = res.add_subparsers(dest="results_command", required=True)
+
+    def _add_db(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--db", default="results.sqlite", metavar="PATH",
+            help="warehouse sqlite file")
+
+    r_load = res_sub.add_parser(
+        "load", help="ingest BENCH_*.json artifact dirs and/or run "
+                     "journals as warehouse runs (idempotent)")
+    r_load.add_argument("sources", nargs="+", metavar="PATH",
+                        help="artifact directory or journal file")
+    _add_db(r_load)
+    r_load.add_argument("--label", default=None,
+                        help="run label for later reference (default: "
+                             "the source path; needs a single source)")
+    r_load.add_argument("--git-sha", default=None, metavar="SHA",
+                        help="code identity of the run (default: git "
+                             "rev-parse HEAD, or 'unknown')")
+    r_load.add_argument("--host", default=None,
+                        help="host the run executed on (default: this "
+                             "machine's hostname)")
+
+    r_query = res_sub.add_parser(
+        "query", help="per-scenario / per-variant metric facts "
+                      "across runs")
+    _add_db(r_query)
+    r_query.add_argument("--run", default=None,
+                         help="restrict to one run (id, label, "
+                              "fingerprint prefix, latest, prev)")
+    r_query.add_argument("--scenario", default=None,
+                         help="restrict to one scenario id")
+    r_query.add_argument("--variant", default=None,
+                         help="restrict to one variant name")
+    r_query.add_argument("--metric", default=None,
+                         help="restrict to one metric name")
+
+    r_diff = res_sub.add_parser(
+        "diff", help="cell-by-cell metric deltas between two runs "
+                     "(volatile fields excluded; exit 1 on any "
+                     "non-volatile delta)")
+    r_diff.add_argument("runs", nargs=2, metavar="RUN",
+                        help="baseline and candidate run refs")
+    _add_db(r_diff)
+    r_diff.add_argument("--include-volatile", action="store_true",
+                        help="also list wall-clock/cache-locality "
+                             "deltas (informational, never failing)")
+
+    r_trend = res_sub.add_parser(
+        "trend", help="wall_seconds_percentiles series per scenario "
+                      "across all loaded runs")
+    _add_db(r_trend)
+    r_trend.add_argument("--scenario", default=None,
+                         help="restrict the series to one scenario id")
+
+    r_radar = res_sub.add_parser(
+        "radar", help="fail (exit 1) when p50/p90 wall-seconds of any "
+                      "pinned scenario regress beyond the threshold")
+    r_radar.add_argument("runs", nargs=2, metavar="RUN",
+                         help="baseline and candidate run refs "
+                              "(e.g. prev latest)")
+    _add_db(r_radar)
+    r_radar.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help=f"regression tolerance as a fraction of the baseline "
+             f"(default {DEFAULT_REGRESSION_THRESHOLD:g}, from "
+             f"repro.results.radar)")
+    r_radar.add_argument(
+        "--min-seconds", type=float, default=None, metavar="SECONDS",
+        help="skip percentiles where both runs are under this floor "
+             "(near-free cells measure scheduler noise)")
+    r_radar.add_argument(
+        "--pin", action="append", default=[], metavar="SCENARIO",
+        help="pinned scenario that must exist in both runs "
+             "(repeatable; default: every scenario the runs share)")
 
     query = sub.add_parser("query", help="run one ad-hoc query")
     query.add_argument("--workload", default="sales",
@@ -646,6 +741,116 @@ def cmd_experiments(args) -> int:
     return 1 if failed else 0
 
 
+# ------------------------------------------------------ results warehouse
+def _format_value(value) -> str:
+    return "-" if value is None else f"{value:g}"
+
+
+def cmd_results(args) -> int:
+    """Handle the ``results`` family (load / query / diff / trend /
+    radar) — a thin shell over :mod:`repro.results`."""
+    from repro.errors import ConfigurationError
+    from repro.results import radar as radar_module
+    from repro.results.warehouse import Warehouse
+
+    if args.results_command == "load":
+        if args.label is not None and len(args.sources) > 1:
+            raise ConfigurationError(
+                "--label names one run; load labelled sources one at "
+                "a time")
+        with Warehouse(args.db, create=True) as warehouse:
+            for source in args.sources:
+                report = warehouse.load(source, label=args.label,
+                                        git_sha=args.git_sha,
+                                        host=args.host)
+                verb = "loaded" if report.created else "already loaded"
+                print(f"== {verb} run {report.run.run_id} "
+                      f"({report.run.label}): {report.run.cells} "
+                      f"cell(s), {report.metrics} metric fact(s) "
+                      f"[{report.run.fingerprint[:12]}]")
+                for note in report.skipped:
+                    print(f"   skipped {note}")
+        return 0
+
+    with Warehouse(args.db) as warehouse:
+        if args.results_command == "query":
+            rows = warehouse.query(run=args.run, scenario=args.scenario,
+                                   variant=args.variant,
+                                   metric=args.metric)
+            print(render_table(
+                ("run", "scenario", "variant", "seed", "metric",
+                 "value", "volatile"),
+                [(run_id, scenario, variant, seed, metric,
+                  _format_value(value), "yes" if volatile else "")
+                 for run_id, scenario, variant, seed, metric, value,
+                 volatile in rows]))
+            print(f"{len(rows)} fact(s)")
+            return 0
+
+        if args.results_command == "diff":
+            report = warehouse.diff(*args.runs)
+            print(f"== diff {report.baseline.describe()} -> "
+                  f"{report.candidate.describe()}: "
+                  f"{report.shared_cells} shared cell(s)")
+            shown = report.pinned_deltas + (
+                report.volatile_deltas if args.include_volatile else [])
+            if shown:
+                print(render_table(
+                    ("cell", "metric", "baseline", "candidate",
+                     "volatile"),
+                    [(delta.cell, delta.metric,
+                      _format_value(delta.baseline),
+                      _format_value(delta.candidate),
+                      "yes" if delta.volatile else "")
+                     for delta in shown]))
+            for note in report.missing:
+                print(f"   MISSING {note}")
+            print(f"{len(report.pinned_deltas)} non-volatile delta(s), "
+                  f"{len(report.volatile_deltas)} volatile"
+                  + ("" if args.include_volatile
+                     else " (show with --include-volatile)"))
+            return 0 if report.ok else 1
+
+        if args.results_command == "trend":
+            series = warehouse.trend(scenario=args.scenario)
+            rows = [(scenario_id, run.run_id, run.label,
+                     digest["cells"], _format_value(digest["p50"]),
+                     _format_value(digest["p90"]),
+                     _format_value(digest["max"]))
+                    for scenario_id, points in series.items()
+                    for run, digest in points]
+            print(render_table(
+                ("scenario", "run", "label", "cells", "p50", "p90",
+                 "max"), rows))
+            print(f"{len(series)} scenario(s) over "
+                  f"{len(warehouse.runs())} run(s)")
+            return 0
+
+        # radar: the CI lane runs `radar prev latest` on every build —
+        # the very first build has nothing to compare, and that is a
+        # seeded baseline, not a failure
+        if "prev" in args.runs and len(warehouse.runs()) < 2:
+            print("== regression radar: baseline seeded (one run in "
+                  "the warehouse); nothing to compare yet")
+            return 0
+        report = radar_module.scan(
+            warehouse, args.runs[0], args.runs[1],
+            threshold=args.threshold, min_seconds=args.min_seconds,
+            scenarios=args.pin or None)
+        print(f"== regression radar: {report.baseline.describe()} -> "
+              f"{report.candidate.describe()}, threshold "
+              f"{report.threshold * 100:g}%")
+        for label, why in sorted(report.skipped.items()):
+            print(f"   skipped {label}: {why}")
+        print(f"   compared {len(report.compared)} scenario "
+              f"percentile(s)")
+        for finding in report.findings:
+            print(f"   REGRESSION {finding.describe()}")
+        if report.ok:
+            print("   ok: no regressions beyond the threshold")
+        return 0 if report.ok else 1
+
+
 # ------------------------------------------------------------ one-offs
 def cmd_query(args) -> int:
     workload = make_workload(args.workload)
@@ -685,6 +890,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "ablation": cmd_ablation,
         "experiments": cmd_experiments,
+        "results": cmd_results,
         "query": cmd_query,
         "monitors": cmd_monitors,
     }

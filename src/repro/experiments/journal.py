@@ -21,6 +21,12 @@ one, so a resumed run's merged artifact is canonically byte-identical
 to an uninterrupted run — pinned by tests and the ``resume-smoke`` CI
 lane.
 
+A journal is also a complete record of *what the run produced*: every
+``result`` record carries the exact summary document an artifact
+would, so ``repro results load`` ingests a journal into the results
+warehouse (:mod:`repro.results`) interchangeably with the run's
+``BENCH_*.json`` directory.
+
 Crash tolerance: records are flushed line-by-line, and a process
 killed mid-append leaves at most one truncated trailing line, which
 :func:`load_journal` ignores.  A journal is bound to one selection:

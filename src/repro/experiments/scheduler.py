@@ -11,9 +11,11 @@ overlap with.
 Cost estimates come from two sources, best first:
 
 1. **Observed history** — per-cell ``wall_seconds`` recorded in prior
-   run journals (:mod:`repro.experiments.journal`) and in existing
+   run journals (:mod:`repro.experiments.journal`), in existing
    ``BENCH_*.json`` artifacts (per-variant summaries carry the wall
-   clock of exactly one cell).
+   clock of exactly one cell), and in a results warehouse
+   (:mod:`repro.results` — the whole trajectory of past runs in one
+   ``--warehouse`` file).
 2. **Workload-size heuristics** — for cells never seen before: an
    experiment cell's cost scales with how many queries its run will
    simulate (clients × measured duration / think time, discounted by
@@ -27,8 +29,6 @@ afterwards, so ``--order cost`` never changes a single artifact byte
 
 from __future__ import annotations
 
-import glob
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -86,20 +86,23 @@ class CellScheduler:
 
     @classmethod
     def from_sources(cls, journals: Sequence[str] = (),
-                     artifact_dirs: Sequence[str] = ()
+                     artifact_dirs: Sequence[str] = (),
+                     warehouses: Sequence[str] = ()
                      ) -> "CellScheduler":
-        """Build a scheduler from prior journals and artifact dirs.
+        """Build a scheduler from journals, artifact dirs, warehouses.
 
         Sources are advisory: a path that does not exist or a document
         that does not carry usable timings contributes nothing (never
         an error — cost ordering must not make a run *harder* to
-        start).  Later sources win on key collisions: journals are
-        read after artifacts, so the most recent observation of a cell
-        is the one used.
+        start).  Later sources win on key collisions: artifacts, then
+        warehouses (the aggregated trajectory), then journals — so the
+        most recent observation of a cell is the one used.
         """
         scheduler = cls()
         for directory in artifact_dirs:
             scheduler.history.update(history_from_artifacts(directory))
+        for path in warehouses:
+            scheduler.history.update(history_from_warehouse(path))
         for path in journals:
             scheduler.history.update(history_from_journal(path))
         return scheduler
@@ -173,17 +176,10 @@ def history_from_artifacts(directory: str) -> Dict[str, float]:
     single render cell.  Malformed or schema-foreign documents are
     skipped, never fatal.
     """
+    from repro.experiments.shards import iter_bench_documents
+
     history: Dict[str, float] = {}
-    if not os.path.isdir(directory):
-        return history
-    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
-        try:
-            with open(path, encoding="utf-8") as fh:
-                doc = json.load(fh)
-        except (OSError, ValueError):
-            continue
-        if not isinstance(doc, dict):
-            continue
+    for _path, doc in iter_bench_documents(directory):
         if doc.get("kind") == "shard":
             entries = doc.get("scenarios")
         elif isinstance(doc.get("spec"), dict):
@@ -196,6 +192,39 @@ def history_from_artifacts(directory: str) -> Dict[str, float]:
             if not isinstance(entry, dict) or not scenario_id:
                 continue
             history.update(_history_from_entry(scenario_id, entry))
+    return history
+
+
+def history_from_warehouse(path: str) -> Dict[str, float]:
+    """Per-cell wall seconds recorded in a results warehouse.
+
+    The warehouse (:mod:`repro.results`) aggregates *every* loaded
+    run, so one ``--warehouse`` file replaces pointing the scheduler
+    at a pile of artifact directories.  Rows are read oldest-run
+    first, so the latest observation of each cell wins.  Tolerant
+    like every history source: a missing file or a non-warehouse
+    sqlite contributes an empty history.
+    """
+    import sqlite3
+
+    if not path or not os.path.exists(path):
+        return {}
+    history: Dict[str, float] = {}
+    try:
+        connection = sqlite3.connect(path)
+        try:
+            rows = connection.execute(
+                "SELECT c.scenario_id, c.variant, c.seed, m.value"
+                " FROM metrics m JOIN cells c ON c.cell_id = m.cell_id"
+                " WHERE m.metric = 'wall_seconds' AND m.value > 0"
+                " ORDER BY m.run_id")
+            for scenario_id, variant, seed, wall in rows:
+                history[_cell_key(scenario_id, variant, seed)] = \
+                    float(wall)
+        finally:
+            connection.close()
+    except sqlite3.Error:
+        return {}
     return history
 
 

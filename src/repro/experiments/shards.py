@@ -34,8 +34,10 @@ shard documents: each one is a complete scenario and merges as-is.
 
 from __future__ import annotations
 
+import glob
 import json
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -310,6 +312,29 @@ def load_bench_document(path: str) -> dict:
         raise ConfigurationError(
             f"artifact {path!r} is not a JSON object")
     return doc
+
+
+def iter_bench_documents(directory: str):
+    """Yield ``(path, doc)`` for every readable ``BENCH_*.json``.
+
+    Sorted by filename, so consumers are deterministic.  Unreadable,
+    non-JSON or non-object files are silently skipped — this is the
+    *advisory* reader (scheduler cost history and other best-effort
+    scans); strict consumers like the shard merge and the results
+    warehouse go through :func:`load_bench_document` per file so a
+    malformed artifact fails loudly.
+    """
+    if not os.path.isdir(directory):
+        return
+    for path in sorted(glob.glob(os.path.join(directory,
+                                              "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict):
+            yield path, doc
 
 
 def wall_seconds_percentiles(values: Iterable[float]) -> dict:

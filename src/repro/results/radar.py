@@ -1,0 +1,140 @@
+"""The regression radar: p50/p90 wall-seconds drift between two runs.
+
+Wall clocks are canonically *volatile* — two correct runs never match
+on them — so ``repro results diff`` excludes them.  But their drift
+over the trajectory is exactly how a perf regression looks, so the
+radar compares the per-scenario ``wall_seconds_percentiles`` digests
+of a baseline and a candidate run and reports every pinned scenario
+whose p50 or p90 regressed beyond the threshold.
+
+The default threshold lives here — :data:`DEFAULT_REGRESSION_THRESHOLD`
+— and **only** here: the CLI and the ``regression-radar`` CI lane both
+inherit it by passing no ``--threshold``, so retuning it is a one-line
+change.  20% is deliberately loose for percentiles of wall clocks on
+shared CI runners: tighter than the 2x a real regression (an
+accidentally quadratic merge, a lost cache) produces, looser than the
+~±10% scheduler noise a busy runner adds.  The ``min_seconds`` floor
+skips percentiles where both runs are near-free (monitors renders,
+microsecond cells) whose ratios are all noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: regression tolerance as a fraction of the baseline percentile —
+#: the single source of truth for ``--threshold``'s default (see the
+#: module docstring for why 0.20)
+DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+#: percentile floor (seconds): when baseline *and* candidate are both
+#: under it, the percentile is skipped — ratios of near-zero wall
+#: clocks measure the OS scheduler, not the code
+DEFAULT_MIN_SECONDS = 0.05
+
+#: the digest percentiles the radar watches
+RADAR_PERCENTILES = ("p50", "p90")
+
+
+@dataclass(frozen=True)
+class RadarFinding:
+    """One scenario percentile that regressed beyond the threshold."""
+
+    scenario_id: str
+    percentile: str
+    baseline: float
+    candidate: float
+
+    @property
+    def regression(self) -> float:
+        """Fractional slowdown (0.5 = 50% slower; ``inf`` when the
+        baseline percentile was zero)."""
+        if self.baseline <= 0:
+            return math.inf
+        return self.candidate / self.baseline - 1.0
+
+    def describe(self) -> str:
+        return (f"{self.scenario_id} {self.percentile}: "
+                f"{self.baseline:.3f}s -> {self.candidate:.3f}s "
+                f"(+{self.regression * 100.0:.0f}%)")
+
+
+@dataclass
+class RadarReport:
+    """Everything one radar scan compared, skipped and flagged."""
+
+    baseline: "RunRow"
+    candidate: "RunRow"
+    threshold: float
+    min_seconds: float
+    #: ``scenario:percentile`` labels that were actually compared
+    compared: List[str] = field(default_factory=list)
+    #: label -> why it was not compared
+    skipped: Dict[str, str] = field(default_factory=dict)
+    findings: List[RadarFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def scan(warehouse, baseline_ref, candidate_ref,
+         threshold: Optional[float] = None,
+         min_seconds: Optional[float] = None,
+         scenarios: Optional[Sequence[str]] = None) -> RadarReport:
+    """Compare two runs' per-scenario wall-seconds percentiles.
+
+    ``scenarios`` pins specific ids: a pinned scenario missing from
+    either run is a hard error (the radar cannot certify what did not
+    run).  Without pins, every scenario the two runs share is
+    compared and scenarios present in only one run are reported as
+    skipped.
+    """
+    threshold = DEFAULT_REGRESSION_THRESHOLD if threshold is None \
+        else threshold
+    min_seconds = DEFAULT_MIN_SECONDS if min_seconds is None \
+        else min_seconds
+    if threshold < 0:
+        raise ConfigurationError(
+            f"radar threshold must be >= 0, got {threshold}")
+    baseline = warehouse.resolve(baseline_ref)
+    candidate = warehouse.resolve(candidate_ref)
+    base = warehouse.scenario_percentiles(baseline.run_id)
+    cand = warehouse.scenario_percentiles(candidate.run_id)
+    if scenarios:
+        missing = sorted(sid for sid in scenarios
+                         if sid not in base or sid not in cand)
+        if missing:
+            raise ConfigurationError(
+                f"pinned scenario(s) {', '.join(missing)} missing "
+                f"from {baseline.describe()} or "
+                f"{candidate.describe()}; the radar cannot certify "
+                f"what did not run")
+        watched = sorted(dict.fromkeys(scenarios))
+    else:
+        watched = sorted(set(base) & set(cand))
+    report = RadarReport(baseline=baseline, candidate=candidate,
+                         threshold=threshold, min_seconds=min_seconds)
+    for sid in sorted(set(base).symmetric_difference(cand)):
+        report.skipped[sid] = "present in only one run"
+    for sid in watched:
+        for percentile in RADAR_PERCENTILES:
+            label = f"{sid}:{percentile}"
+            before = float(base[sid].get(percentile, 0.0))
+            after = float(cand[sid].get(percentile, 0.0))
+            if before < min_seconds and after < min_seconds:
+                report.skipped[label] = (
+                    f"both runs under the {min_seconds}s floor")
+                continue
+            report.compared.append(label)
+            slower = math.inf if before <= 0 \
+                else after / before - 1.0
+            if slower > threshold:
+                report.findings.append(RadarFinding(
+                    scenario_id=sid, percentile=percentile,
+                    baseline=before, candidate=after))
+    return report

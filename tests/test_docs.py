@@ -55,7 +55,8 @@ def repro_commands(path: Path):
 
 def test_docs_exist():
     for name in ("architecture.md", "scenarios.md", "sharding.md",
-                 "cli.md", "executors.md", "operations.md"):
+                 "cli.md", "executors.md", "operations.md",
+                 "results.md"):
         assert (REPO / "docs" / name).is_file(), name
     assert DOC_FILES, "no documentation files found"
 
@@ -65,7 +66,7 @@ def test_documented_commands_parse(path):
     """Every documented `repro` invocation must parse cleanly."""
     commands = repro_commands(path)
     if path.name in ("cli.md", "sharding.md", "executors.md",
-                     "operations.md"):
+                     "operations.md", "results.md"):
         assert commands, f"{path.name} documents no repro commands"
     parser = build_parser()
     for command in commands:
@@ -114,8 +115,39 @@ def test_cli_reference_covers_every_subcommand():
                     "scenarios run", "shards plan", "shards run",
                     "shards merge", "workers serve", "workers join",
                     "figure", "sweep", "ablation",
-                    "experiments", "query", "monitors"):
+                    "experiments", "query", "monitors",
+                    "results load", "results query", "results diff",
+                    "results trend", "results radar"):
         assert f"repro {command}" in text, f"cli.md misses {command!r}"
+
+
+def test_results_doc_version_claims_match_code():
+    """Every version number docs/results.md claims must be the one the
+    code exports, and the schema-history appendix must cover every
+    artifact schema that ever existed.  A bumped constant without a
+    matching doc edit fails here."""
+    from repro.experiments.engine import ARTIFACT_SCHEMA
+    from repro.results.radar import DEFAULT_REGRESSION_THRESHOLD
+    from repro.results.warehouse import WAREHOUSE_SCHEMA
+    from repro.scenarios.spec import SPEC_FORMAT_VERSION
+
+    text = (REPO / "docs" / "results.md").read_text(encoding="utf-8")
+    for name, current in (("artifact schema", ARTIFACT_SCHEMA),
+                          ("spec format version", SPEC_FORMAT_VERSION),
+                          ("warehouse schema", WAREHOUSE_SCHEMA)):
+        claims = re.findall(
+            rf"current {name} is \*\*(\d+)\*\*", text)
+        assert claims, f"results.md never states the current {name}"
+        assert all(int(claim) == current for claim in claims), (
+            f"results.md claims the current {name} is "
+            f"{claims}, code says {current}")
+    threshold = int(round(DEFAULT_REGRESSION_THRESHOLD * 100))
+    assert f"default regression threshold is **{threshold}%**" in text, (
+        "results.md's threshold claim does not match "
+        "DEFAULT_REGRESSION_THRESHOLD")
+    for schema in range(1, ARTIFACT_SCHEMA + 1):
+        assert f"### Schema {schema}" in text, (
+            f"results.md appendix misses artifact schema {schema}")
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)

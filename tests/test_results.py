@@ -1,0 +1,366 @@
+"""Tests for the results warehouse (repro.results) + regression radar.
+
+The fast tests exercise extraction, idempotent loads, run resolution,
+diff/trend/query and the radar's threshold maths on real inline runs
+plus synthetic wall-clock edits.  The slow test pins the cross-executor
+contract at the warehouse level: an inline run and a stream run of the
+same selection diff to *only* volatile-field differences.
+"""
+
+import json
+import shutil
+import threading
+
+import pytest
+
+from repro import cli
+from repro.errors import ConfigurationError
+from repro.experiments.engine import ARTIFACT_SCHEMA
+from repro.experiments.executors import InlineExecutor, StreamExecutor
+from repro.experiments.journal import journaled_executor
+from repro.experiments.scheduler import (
+    CellScheduler,
+    history_from_warehouse,
+)
+from repro.experiments.shards import VOLATILE_FIELDS
+from repro.experiments.wire import run_worker
+from repro.results import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    ERROR_METRIC,
+    WAREHOUSE_SCHEMA,
+    Warehouse,
+    scan,
+)
+from repro.scenarios import run_scenarios, write_scenario_artifact
+
+from helpers import experiment_spec, monitors_spec
+
+
+def _specs():
+    return [experiment_spec("wh-exp"), monitors_spec("wh-mon")]
+
+
+@pytest.fixture(scope="module")
+def inline_runs(tmp_path_factory):
+    """Two independent inline runs of one selection, artifacts on disk
+    (module-scoped: the runs are the expensive part, every test loads
+    them into its own throwaway warehouse)."""
+    base = tmp_path_factory.mktemp("wh")
+    for name in ("run-a", "run-b"):
+        for result in run_scenarios(_specs()):
+            write_scenario_artifact(str(base / name), result)
+    return base
+
+
+def _load(db, *sources, **kwargs):
+    with Warehouse(str(db), create=True) as warehouse:
+        return [warehouse.load(str(source), **kwargs)
+                for source in sources]
+
+
+def _pin_walls(src, dst, value):
+    """Copy an artifact dir with every wall clock set to ``value`` —
+    a synthetic run whose only difference is how slow it was."""
+    shutil.copytree(src, dst)
+    for path in dst.glob("BENCH_*.json"):
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(doc.get("results"), dict):
+            for summary in doc["results"].values():
+                summary["wall_seconds"] = value
+            doc["wall_seconds"] = value * max(len(doc["results"]), 1)
+        else:
+            doc["wall_seconds"] = value
+        path.write_text(json.dumps(doc), encoding="utf-8")
+    return dst
+
+
+# ---------------------------------------------------------------- load
+def test_load_is_idempotent(inline_runs, tmp_path):
+    db = tmp_path / "w.sqlite"
+    first, again = _load(db, inline_runs / "run-a", inline_runs / "run-a")
+    assert first.created and not again.created
+    assert first.run.run_id == again.run.run_id
+    assert first.metrics == again.metrics > 0
+    with Warehouse(str(db)) as warehouse:
+        assert len(warehouse.runs()) == 1
+        assert warehouse.runs()[0].cells == 3
+
+
+def test_byte_identical_runs_share_one_fingerprint(inline_runs, tmp_path):
+    """A byte-identical copy of a run dedupes to the same fingerprint,
+    and diffing that run against itself reports zero deltas."""
+    copy = tmp_path / "copy"
+    shutil.copytree(inline_runs / "run-a", copy)
+    db = tmp_path / "w.sqlite"
+    original, duplicate = _load(db, inline_runs / "run-a", copy)
+    assert not duplicate.created
+    assert duplicate.run.fingerprint == original.run.fingerprint
+    with Warehouse(str(db)) as warehouse:
+        report = warehouse.diff(1, 1)
+    assert report.deltas == [] and report.missing == []
+    assert report.ok and report.shared_cells == 3
+
+
+def test_load_rejects_unknown_and_future_sources(tmp_path):
+    future = tmp_path / "future"
+    future.mkdir()
+    (future / "BENCH_scenario_x.json").write_text(json.dumps(
+        {"schema": ARTIFACT_SCHEMA + 1, "name": "scenario_x",
+         "spec": {"scenario_id": "x"}}), encoding="utf-8")
+    with Warehouse(str(tmp_path / "w.sqlite"), create=True) as warehouse:
+        with pytest.raises(ConfigurationError, match="artifact schema"):
+            warehouse.load(str(future))
+        with pytest.raises(ConfigurationError, match="no such"):
+            warehouse.load(str(tmp_path / "nowhere"))
+        with pytest.raises(ConfigurationError, match="its directory"):
+            warehouse.load(str(future / "BENCH_scenario_x.json"))
+    # read verbs never conjure an empty warehouse out of a typo'd path
+    with pytest.raises(ConfigurationError, match="no results warehouse"):
+        Warehouse(str(tmp_path / "typo.sqlite"))
+
+
+def test_error_cells_and_batch_skips(tmp_path):
+    """An errored cell warehouses as the pinned ``cell_error`` fact;
+    engine batch artifacts are skipped with a note, never silently."""
+    source = tmp_path / "erred"
+    source.mkdir()
+    (source / "BENCH_scenario_wh-err.json").write_text(json.dumps({
+        "schema": ARTIFACT_SCHEMA, "name": "scenario_wh-err",
+        "spec": {"scenario_id": "wh-err", "kind": "experiment",
+                 "seed": 5},
+        "wall_seconds": 0.1, "results": {},
+        "errors": {"throttled": "RuntimeError: boom"},
+    }), encoding="utf-8")
+    (source / "BENCH_figures.json").write_text(json.dumps({
+        "schema": ARTIFACT_SCHEMA, "name": "figures", "workers": 2,
+        "wall_seconds": 1.0, "errors": {}, "results": {},
+    }), encoding="utf-8")
+    db = tmp_path / "w.sqlite"
+    (report,) = _load(db, source)
+    assert any("BENCH_figures.json" in note for note in report.skipped)
+    with Warehouse(str(db)) as warehouse:
+        rows = warehouse.query(metric=ERROR_METRIC)
+    assert [(r[1], r[2], r[3], r[5], r[6]) for r in rows] == \
+        [("wh-err", "throttled", 5, 1.0, 0)]
+
+
+# ---------------------------------------------------------------- diff
+def test_two_inline_runs_diff_only_volatile(inline_runs, tmp_path):
+    """The acceptance pin: two inline runs of the same selection show
+    zero non-volatile deltas — every difference is a wall clock or a
+    cache-locality counter from VOLATILE_FIELDS."""
+    db = tmp_path / "w.sqlite"
+    _load(db, inline_runs / "run-a", inline_runs / "run-b")
+    with Warehouse(str(db)) as warehouse:
+        report = warehouse.diff(str(inline_runs / "run-a"),
+                                str(inline_runs / "run-b"))
+    assert report.ok and report.pinned_deltas == []
+    assert report.shared_cells == 3 and report.missing == []
+    assert report.volatile_deltas, "two runs never share wall clocks"
+    assert {d.metric for d in report.deltas} <= VOLATILE_FIELDS
+
+
+def test_cli_load_then_diff_reports_zero_nonvolatile(inline_runs,
+                                                     tmp_path, capsys):
+    """`repro results load && repro results diff` end-to-end."""
+    db = str(tmp_path / "w.sqlite")
+    assert cli.main(["results", "load", str(inline_runs / "run-a"),
+                     str(inline_runs / "run-b"), "--db", db]) == 0
+    assert cli.main(["results", "diff", "1", "2", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "0 non-volatile delta(s)" in out
+    # and the volatile detail is opt-in
+    assert cli.main(["results", "diff", "prev", "latest", "--db", db,
+                     "--include-volatile"]) == 0
+    assert "wall_seconds" in capsys.readouterr().out
+
+
+def test_journal_and_artifacts_of_one_run_diff_clean(tmp_path):
+    """A journal ingests interchangeably with the artifacts of the
+    same execution: identical facts, wall clocks included."""
+    out_dir = tmp_path / "artifacts"
+    journal = tmp_path / "run.journal"
+    executor = journaled_executor(InlineExecutor(), str(journal))
+    try:
+        for result in run_scenarios(_specs(), executor=executor):
+            write_scenario_artifact(str(out_dir), result)
+    finally:
+        executor.close()
+    db = tmp_path / "w.sqlite"
+    from_artifacts, from_journal = _load(db, out_dir, journal)
+    assert from_artifacts.created and from_journal.created
+    with Warehouse(str(db)) as warehouse:
+        report = warehouse.diff(1, 2)
+    assert report.deltas == [] and report.missing == []
+
+
+@pytest.mark.slow
+def test_inline_vs_stream_diff_is_volatile_only(inline_runs, tmp_path):
+    """Cross-executor contract at the warehouse level: a stream run
+    (two thread workers, worker-local search pools) differs from an
+    inline run only in volatile fields."""
+    stream_dir = tmp_path / "stream"
+    stream = StreamExecutor(timeout=300)
+    address = stream.start()
+    threads = [threading.Thread(target=run_worker, args=address,
+                                daemon=True) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        for result in run_scenarios(_specs(), executor=stream):
+            write_scenario_artifact(str(stream_dir), result)
+    finally:
+        stream.close()
+    for thread in threads:
+        thread.join(timeout=10)
+
+    db = tmp_path / "w.sqlite"
+    _load(db, inline_runs / "run-a", stream_dir)
+    with Warehouse(str(db)) as warehouse:
+        report = warehouse.diff(1, 2)
+    assert report.ok and report.pinned_deltas == []
+    assert {d.metric for d in report.deltas} <= VOLATILE_FIELDS
+
+
+# ------------------------------------------------------- trend + radar
+def test_trend_digests_the_wall_clock_trajectory(inline_runs, tmp_path):
+    baseline = _pin_walls(inline_runs / "run-a", tmp_path / "base", 1.0)
+    slower = _pin_walls(inline_runs / "run-a", tmp_path / "slow", 2.0)
+    db = tmp_path / "w.sqlite"
+    _load(db, baseline, slower)
+    with Warehouse(str(db)) as warehouse:
+        series = warehouse.trend(scenario="wh-exp")["wh-exp"]
+        assert [digest["p50"] for _run, digest in series] == [1.0, 2.0]
+        assert [digest["cells"] for _run, digest in series] == [2, 2]
+        with pytest.raises(ConfigurationError, match="no 'wall_seconds'"):
+            warehouse.trend(scenario="wh-nope")
+
+
+def test_radar_flags_a_synthetic_2x_regression(inline_runs, tmp_path,
+                                               capsys):
+    """The acceptance pin: a run with doubled wall clocks fails the
+    radar; a 10% drift stays inside the default 20% threshold."""
+    baseline = _pin_walls(inline_runs / "run-a", tmp_path / "base", 1.0)
+    doubled = _pin_walls(inline_runs / "run-a", tmp_path / "2x", 2.0)
+    mild = _pin_walls(inline_runs / "run-a", tmp_path / "mild", 1.1)
+    db = tmp_path / "w.sqlite"
+    _load(db, baseline, doubled, mild)
+    with Warehouse(str(db)) as warehouse:
+        report = scan(warehouse, 1, 2)
+        assert not report.ok
+        flagged = {(f.scenario_id, f.percentile)
+                   for f in report.findings}
+        assert {("wh-exp", "p50"), ("wh-exp", "p90")} <= flagged
+        assert all(abs(f.regression - 1.0) < 1e-9
+                   for f in report.findings)
+        assert scan(warehouse, 1, 3).ok  # +10% < default 20%
+        assert not scan(warehouse, 1, 3, threshold=0.05).ok
+        # pinning an absent scenario is a hard error, not a skip
+        pinned = scan(warehouse, 1, 2, scenarios=["wh-exp"])
+        assert {f.scenario_id for f in pinned.findings} == {"wh-exp"}
+        with pytest.raises(ConfigurationError, match="wh-ghost"):
+            scan(warehouse, 1, 2, scenarios=["wh-ghost"])
+    assert cli.main(["results", "radar", "1", "2", "--db", str(db)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION wh-exp p50: 1.000s -> 2.000s (+100%)" in out
+    assert cli.main(["results", "radar", "1", "3", "--db", str(db)]) == 0
+
+
+def test_radar_min_seconds_floor_skips_noise(inline_runs, tmp_path):
+    """Near-free percentiles (both runs under the floor) are skipped:
+    their ratios measure the OS scheduler, not the code."""
+    fast = _pin_walls(inline_runs / "run-a", tmp_path / "fast", 0.001)
+    jitter = _pin_walls(inline_runs / "run-a", tmp_path / "jit", 0.004)
+    db = tmp_path / "w.sqlite"
+    _load(db, fast, jitter)
+    with Warehouse(str(db)) as warehouse:
+        report = scan(warehouse, "prev", "latest")
+        assert report.ok and report.compared == []
+        assert all("floor" in why for why in report.skipped.values())
+        # lowering the floor re-arms the radar on the same data
+        assert not scan(warehouse, "prev", "latest",
+                        min_seconds=0.0005).ok
+
+
+def test_radar_seeds_its_baseline_on_first_run(inline_runs, tmp_path,
+                                               capsys):
+    """The CI lane's first ever build has one run and nothing to
+    compare — that seeds the trajectory and exits 0."""
+    db = str(tmp_path / "w.sqlite")
+    assert cli.main(["results", "load", str(inline_runs / "run-a"),
+                     "--db", db]) == 0
+    assert cli.main(["results", "radar", "prev", "latest",
+                     "--db", db]) == 0
+    assert "baseline seeded" in capsys.readouterr().out
+
+
+# -------------------------------------------------- query + resolution
+def test_query_filters_and_run_resolution(inline_runs, tmp_path):
+    db = tmp_path / "w.sqlite"
+    _load(db, inline_runs / "run-a", inline_runs / "run-b")
+    with Warehouse(str(db)) as warehouse:
+        completed = warehouse.query(metric="completed",
+                                    scenario="wh-exp")
+        assert len(completed) == 4  # 2 runs x 2 variants
+        assert all(row[6] == 0 for row in completed), "pinned metric"
+        walls = warehouse.query(metric="wall_seconds", run="latest")
+        assert len(walls) == 3 and all(row[6] == 1 for row in walls)
+        latest = warehouse.resolve("latest")
+        assert warehouse.resolve("prev").run_id == latest.run_id - 1
+        assert warehouse.resolve(str(latest.run_id)) == latest
+        by_prefix = warehouse.resolve(latest.fingerprint[:10])
+        assert by_prefix == latest
+        label = warehouse.resolve(str(inline_runs / "run-a"))
+        assert label.run_id == 1
+        with pytest.raises(ConfigurationError, match="no run named"):
+            warehouse.resolve("wh-ghost")
+    db_single = tmp_path / "single.sqlite"
+    _load(db_single, inline_runs / "run-a")
+    with Warehouse(str(db_single)) as warehouse:
+        with pytest.raises(ConfigurationError, match="previous"):
+            warehouse.resolve("prev")
+
+
+def test_warehouse_schema_version_is_checked(tmp_path):
+    db = tmp_path / "w.sqlite"
+    with Warehouse(str(db), create=True) as warehouse:
+        warehouse._conn.execute(
+            "UPDATE meta SET value = '99' WHERE key = 'warehouse_schema'")
+        warehouse._conn.commit()
+    with pytest.raises(ConfigurationError, match="warehouse schema"):
+        Warehouse(str(db))
+    assert WAREHOUSE_SCHEMA == 1
+
+
+def test_cli_label_guards_and_defaults(inline_runs, tmp_path, capsys):
+    db = str(tmp_path / "w.sqlite")
+    assert cli.main(["results", "load", str(inline_runs / "run-a"),
+                     str(inline_runs / "run-b"), "--db", db,
+                     "--label", "x"]) == 2
+    assert "one run" in capsys.readouterr().err
+    assert cli.main(["results", "load", str(inline_runs / "run-a"),
+                     "--db", db, "--label", "nightly",
+                     "--git-sha", "cafe", "--host", "runner-1"]) == 0
+    with Warehouse(db) as warehouse:
+        run = warehouse.resolve("nightly")
+        assert run.git_sha == "cafe" and run.host == "runner-1"
+
+
+# ------------------------------------------------- scheduler integration
+def test_scheduler_reads_the_warehouse_trajectory(inline_runs, tmp_path):
+    """--warehouse feeds --order cost: the latest loaded observation
+    of each cell wins; missing or non-warehouse files are advisory."""
+    baseline = _pin_walls(inline_runs / "run-a", tmp_path / "base", 1.0)
+    slower = _pin_walls(inline_runs / "run-a", tmp_path / "slow", 2.0)
+    db = tmp_path / "w.sqlite"
+    _load(db, baseline, slower)
+    history = history_from_warehouse(str(db))
+    assert history["wh-exp/throttled#1"] == 2.0
+    assert history["wh-exp/unthrottled#1"] == 2.0
+    assert history["wh-mon/run#3"] == 2.0
+    scheduler = CellScheduler.from_sources(warehouses=[str(db)])
+    assert scheduler.history == history
+    assert history_from_warehouse(str(tmp_path / "missing.sqlite")) == {}
+    junk = tmp_path / "junk.sqlite"
+    junk.write_text("not a database", encoding="utf-8")
+    assert history_from_warehouse(str(junk)) == {}
