@@ -16,6 +16,9 @@ Commands
 ``results``      the cross-run results warehouse: ``load`` BENCH
                  artifact dirs / journals, then ``query`` / ``diff`` /
                  ``trend`` / ``radar`` across runs
+``traces``       open-loop trace tooling: ``validate`` / ``summarize``
+                 a CSV/JSONL query log, ``synth`` one from an arrival
+                 process
 ``query``        compile + execute one ad-hoc query and print the report
 ``monitors``     print the memory-monitor ladder
 
@@ -57,6 +60,9 @@ Examples
     python -m repro results load bench --db results.sqlite
     python -m repro results diff prev latest --db results.sqlite
     python -m repro results radar prev latest --db results.sqlite
+    python -m repro traces validate examples/sample_trace.jsonl
+    python -m repro traces synth --out burst.jsonl --arrivals flash_crowd
+    python -m repro scenarios run burst-flash --clients 4
     python -m repro query --workload mixed --seed 7
     python -m repro ablation gateways --clients 30
 """
@@ -419,6 +425,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--pin", action="append", default=[], metavar="SCENARIO",
         help="pinned scenario that must exist in both runs "
              "(repeatable; default: every scenario the runs share)")
+
+    from repro.traffic.arrivals import ARRIVAL_FACTORIES
+
+    traces = sub.add_parser(
+        "traces",
+        help="open-loop trace tooling (validate / summarize / synth)")
+    traces_sub = traces.add_subparsers(dest="traces_command",
+                                       required=True)
+
+    def _add_tail(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--tolerate-tail", action="store_true",
+            help="skip a truncated trailing line (torn tails only; a "
+                 "malformed line mid-file always fails)")
+
+    t_validate = traces_sub.add_parser(
+        "validate", help="stream-parse a trace, failing on the first "
+                         "malformed line (exit 2)")
+    t_validate.add_argument("trace", metavar="FILE",
+                            help="a .jsonl/.ndjson/.csv query log")
+    _add_tail(t_validate)
+
+    t_summarize = traces_sub.add_parser(
+        "summarize", help="one streaming pass: event count, time span, "
+                          "mean rate, tenants and templates")
+    t_summarize.add_argument("trace", metavar="FILE",
+                             help="a .jsonl/.ndjson/.csv query log")
+    _add_tail(t_summarize)
+
+    t_synth = traces_sub.add_parser(
+        "synth", help="synthesize a JSONL trace from a seeded arrival "
+                      "process")
+    t_synth.add_argument("--out", required=True, metavar="FILE",
+                         help="JSONL file to write")
+    t_synth.add_argument("--arrivals", default="poisson",
+                         choices=sorted(ARRIVAL_FACTORIES),
+                         help="arrival process to sample")
+    t_synth.add_argument("--param", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="arrival-process parameter (repeatable; "
+                              "values parse as JSON, falling back to "
+                              "strings)")
+    t_synth.add_argument("--duration", type=float, default=3000.0,
+                         help="schedule horizon in paper seconds")
+    t_synth.add_argument("--seed", type=int, default=3)
+    t_synth.add_argument("--workload", default=None,
+                         help="stamp events with this workload's "
+                              "template names (sales, tpch, oltp, "
+                              "mixed)")
+    t_synth.add_argument("--tenant", default="default",
+                         help="tenant label for single-tenant "
+                              "processes")
 
     query = sub.add_parser("query", help="run one ad-hoc query")
     query.add_argument("--workload", default="sales",
@@ -851,6 +909,76 @@ def cmd_results(args) -> int:
         return 0 if report.ok else 1
 
 
+# ----------------------------------------------------------- traces
+def _parse_synth_params(pairs: List[str]) -> dict:
+    """``KEY=VALUE`` pairs with JSON-parsed values (string fallback)."""
+    from repro.errors import ConfigurationError
+
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--param takes KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def cmd_traces(args) -> int:
+    """Handle the ``traces`` family (validate / summarize / synth)."""
+    from repro.traffic.arrivals import make_arrival_process
+    from repro.traffic.trace import (
+        read_trace,
+        summarize_trace,
+        synthesize_trace,
+    )
+
+    if args.traces_command == "validate":
+        events = 0
+        for _ in read_trace(args.trace,
+                            tolerate_tail=args.tolerate_tail):
+            events += 1
+        print(f"== trace {args.trace}: valid ({events} event(s))")
+        return 0
+
+    if args.traces_command == "summarize":
+        summary = summarize_trace(args.trace,
+                                  tolerate_tail=args.tolerate_tail)
+        print(f"== trace {args.trace}")
+        print(f"   events       {summary['events']}")
+        span = summary["span_seconds"]
+        first, last = summary["t_first"], summary["t_last"]
+        if summary["events"]:
+            print(f"   span         {span:g}s "
+                  f"(t={first:g} .. t={last:g})")
+        rate = summary["mean_rate"]
+        print(f"   mean rate    "
+              f"{'-' if rate is None else f'{rate:g}/s'}")
+        rows = [(tenant, count) for tenant, count
+                in summary["tenants"].items()]
+        if rows:
+            print(render_table(("tenant", "events"), rows))
+        rows = [(template, count) for template, count
+                in summary["templates"].items()]
+        if rows:
+            print(render_table(("template", "events"), rows))
+        return 0
+
+    # synth
+    process = make_arrival_process(args.arrivals,
+                                   **_parse_synth_params(args.param))
+    workload = make_workload(args.workload) if args.workload else None
+    count = synthesize_trace(args.out, process, duration=args.duration,
+                             seed=args.seed, workload=workload,
+                             tenant=args.tenant)
+    print(f"== wrote {count} event(s) over {args.duration:g}s to "
+          f"{args.out} ({args.arrivals}, seed {args.seed})")
+    return 0
+
+
 # ------------------------------------------------------------ one-offs
 def cmd_query(args) -> int:
     workload = make_workload(args.workload)
@@ -891,6 +1019,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ablation": cmd_ablation,
         "experiments": cmd_experiments,
         "results": cmd_results,
+        "traces": cmd_traces,
         "query": cmd_query,
         "monitors": cmd_monitors,
     }

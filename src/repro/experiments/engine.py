@@ -36,7 +36,11 @@ from repro.experiments.runner import (
 #: 3: versioned scenario specs, shard artifacts with shard/selection
 #: metadata and mergeable per-variant results;
 #: 4: optional per-run DMV ``snapshot`` behind ``--snapshot``,
-#: cross-variant expectation checks carrying a ``reference`` value)
+#: cross-variant expectation checks carrying a ``reference`` value.
+#: Amendment under 4 (backward compatible, no bump): open-loop runs add
+#: a ``traffic`` key to their config doc and an ``open_loop`` fact
+#: block to their summary; both appear only when a run carries a
+#: traffic spec, so closed-loop artifacts are byte-identical)
 ARTIFACT_SCHEMA = 4
 
 #: recordings kept per search profile in a shared pool
@@ -287,16 +291,19 @@ def summarize_result(result: ExperimentResult) -> dict:
     feeds back into metrics.
     """
     config = result.config
+    config_doc = {
+        "workload": config.workload,
+        "workload_params": dict(config.workload_params),
+        "clients": config.clients,
+        "throttling": config.throttling,
+        "preset": config.preset,
+        "seed": config.seed,
+        "think_time": config.think_time,
+    }
+    if config.traffic is not None:
+        config_doc["traffic"] = config.traffic.to_dict()
     summary = {
-        "config": {
-            "workload": config.workload,
-            "workload_params": dict(config.workload_params),
-            "clients": config.clients,
-            "throttling": config.throttling,
-            "preset": config.preset,
-            "seed": config.seed,
-            "think_time": config.think_time,
-        },
+        "config": config_doc,
         "completed": result.completed,
         "failed": result.failed,
         "error_counts": dict(sorted(result.error_counts.items())),
@@ -312,6 +319,10 @@ def summarize_result(result: ExperimentResult) -> dict:
         "throughput": [[t, c] for t, c in result.throughput],
         "wall_seconds": result.wall_seconds,
     }
+    if result.open_loop is not None:
+        # deterministic simulated admission facts — pinned, unlike the
+        # wall-clock fields above
+        summary["open_loop"] = dict(sorted(result.open_loop.items()))
     if result.snapshot is not None:
         summary["snapshot"] = result.snapshot
     return summary

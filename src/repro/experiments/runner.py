@@ -18,6 +18,7 @@ from repro.config import ServerConfig, paper_server_config
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
 from repro.server.server import DatabaseServer
+from repro.traffic.spec import TrafficSpec
 from repro.workload.base import Workload
 from repro.workload.loadgen import ClientStats, LoadGenerator
 from repro.workload.mixed import MixedWorkload
@@ -78,6 +79,9 @@ class ExperimentConfig:
     #: extra keyword arguments for the workload factory, as a sorted
     #: tuple of (name, value) pairs so configs stay hashable/picklable
     workload_params: Tuple[Tuple[str, object], ...] = ()
+    #: open-loop traffic shape (arrival process or trace replay);
+    #: ``None`` keeps the closed-loop think-time clients, byte-for-byte
+    traffic: Optional[TrafficSpec] = None
     #: overrides applied to the ServerConfig after preset handling
     server_overrides: Optional[ServerConfig] = None
     #: capture a final :meth:`ServerViews.snapshot` with the result
@@ -146,6 +150,9 @@ class ExperimentResult:
     search_replays: int = 0
     #: broker soft-grant denials that degraded to a best-so-far plan
     soft_denials: int = 0
+    #: open-loop admission facts (offered/admitted/drops/queue waits);
+    #: only present for runs with a ``traffic`` spec
+    open_loop: Optional[Dict[str, float]] = None
     #: end-of-run DMV snapshot (``ServerViews.snapshot()``), captured
     #: only when the config asked for one
     snapshot: Optional[Dict] = None
@@ -216,10 +223,18 @@ def run_experiment(config: ExperimentConfig,
         server.pipeline.seed_recorded_searches(
             shared_searches.get(profile, {}))
     duration_sim = (preset.warmup + preset.measure) / scale
-    generator = LoadGenerator(
-        server, workload, clients=config.clients, duration=duration_sim,
-        metrics=metrics, seed=config.seed,
-        think_time=config.think_time)
+    if config.traffic is not None:
+        from repro.traffic.openloop import OpenLoopGenerator
+
+        generator = OpenLoopGenerator(
+            server, workload, traffic=config.traffic,
+            duration=duration_sim, metrics=metrics, seed=config.seed,
+            clients=config.clients)
+    else:
+        generator = LoadGenerator(
+            server, workload, clients=config.clients,
+            duration=duration_sim, metrics=metrics, seed=config.seed,
+            think_time=config.think_time)
 
     started = time.time()
     # The simulation allocates millions of small, mostly refcounted
@@ -278,5 +293,7 @@ def run_experiment(config: ExperimentConfig,
         wall_seconds=wall,
         search_replays=server.pipeline.search_replays,
         soft_denials=server.pipeline.soft_denials,
+        open_loop=(generator.facts(scale)
+                   if config.traffic is not None else None),
         snapshot=snapshot,
     )

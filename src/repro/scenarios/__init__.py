@@ -43,10 +43,13 @@ from repro.scenarios.library import (
     ABLATION_SCENARIOS,
     best_plan_ablation_scenario,
     dynamic_ablation_scenario,
+    flash_crowd_scenario,
     gateway_ablation_scenario,
+    noisy_neighbor_scenario,
     saturation_scenario,
     throughput_scenario,
 )
+from repro.traffic.spec import TrafficSpec
 
 __all__ = [
     "ABLATION_SCENARIOS",
@@ -56,11 +59,14 @@ __all__ = [
     "SPEC_FORMAT_VERSION",
     "ScenarioResult",
     "ScenarioSpec",
+    "TrafficSpec",
     "VariantSpec",
     "best_plan_ablation_scenario",
     "dynamic_ablation_scenario",
     "evaluate_expectations",
+    "flash_crowd_scenario",
     "gateway_ablation_scenario",
+    "noisy_neighbor_scenario",
     "get_scenario",
     "jobs_for_scenario",
     "list_scenarios",

@@ -58,6 +58,7 @@ def jobs_for_scenario(spec: ScenarioSpec,
             config=ExperimentConfig(
                 workload=spec.workload,
                 workload_params=spec.workload_params,
+                traffic=spec.traffic,
                 clients=(variant.clients if variant.clients is not None
                          else spec.clients),
                 throttling=throttling,
@@ -181,6 +182,11 @@ def metrics_from_summary(summary: Dict) -> Dict[str, float]:
     }
     for kind, count in summary["error_counts"].items():
         metrics[f"errors.{kind}"] = float(count)
+    # open-loop admission facts surface as `openloop.<fact>` metrics
+    # (offered, admitted, dropped, queue_wait_p90, ...) so burst
+    # scenarios can put expectations on them
+    for name, value in summary.get("open_loop", {}).items():
+        metrics[f"openloop.{name}"] = float(value)
     return metrics
 
 
@@ -196,11 +202,15 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
     in another process or on another machine — stand in for live
     results when rendering figures and tables.
     """
+    from repro.traffic.spec import TrafficSpec
+
     config_doc = summary["config"]
     config = ExperimentConfig(
         workload=config_doc["workload"],
         workload_params=tuple(sorted(
             (str(k), v) for k, v in config_doc["workload_params"].items())),
+        traffic=(TrafficSpec.from_dict(config_doc["traffic"])
+                 if "traffic" in config_doc else None),
         clients=config_doc["clients"],
         throttling=config_doc["throttling"],
         preset=config_doc["preset"],
@@ -221,6 +231,7 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
         wall_seconds=summary["wall_seconds"],
         search_replays=summary["search_replays"],
         soft_denials=summary["soft_denials"],
+        open_loop=summary.get("open_loop"),
         snapshot=summary.get("snapshot"))
 
 
@@ -541,7 +552,15 @@ def _run_trace(spec: ScenarioSpec) -> ScenarioResult:
 
 # ---------------------------------------------------------- spec files
 def load_scenario_file(path: str) -> ScenarioSpec:
-    """Parse a user-authored JSON spec file into a validated spec."""
+    """Parse a user-authored JSON spec file into a validated spec.
+
+    A relative ``traffic.trace`` path resolves against the spec file's
+    directory, so a spec can ship next to its trace (the ``examples/``
+    pair) and run from any working directory.
+    """
+    import os
+    from dataclasses import replace as _replace
+
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -551,7 +570,14 @@ def load_scenario_file(path: str) -> ScenarioSpec:
     except json.JSONDecodeError as exc:
         raise ConfigurationError(
             f"scenario file {path!r} is not valid JSON: {exc}") from None
-    return ScenarioSpec.from_dict(doc)
+    spec = ScenarioSpec.from_dict(doc)
+    traffic = spec.traffic
+    if traffic is not None and traffic.trace is not None \
+            and not os.path.isabs(traffic.trace):
+        resolved = os.path.join(os.path.dirname(os.path.abspath(path)),
+                                traffic.trace)
+        spec = _replace(spec, traffic=_replace(traffic, trace=resolved))
+    return spec
 
 
 # ----------------------------------------------------------- artifacts

@@ -13,6 +13,8 @@ Families
 ``mixed``       OLTP point queries co-located with ad-hoc TPC-H
 ``memory``      throughput under a shrinking physical-memory budget
 ``ladder``      full ladder vs small-monitor-only across load levels
+``burst``       open-loop adversarial arrivals (flash crowds, noisy
+                multi-tenant mixes) through the admission path
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     VariantSpec,
 )
+from repro.traffic.spec import TrafficSpec
 from repro.units import GiB
 
 #: paper figure number -> client count (Figures 3/4/5)
@@ -286,3 +289,77 @@ def _ladder_load() -> ScenarioSpec:
         description="How much of the ladder is needed as load grows: "
                     "the single small monitor vs the full "
                     "small/medium/big ladder at 15 and 30 clients.")
+
+
+# --------------------------------------------------- burst (new family)
+def flash_crowd_scenario(clients: int = 16, preset: str = "smoke",
+                         seed: int = 3) -> ScenarioSpec:
+    """BURST-FLASH: a flash-crowd spike through open-loop admission."""
+    return ScenarioSpec(
+        scenario_id="burst-flash",
+        title="Flash crowd: open-loop spike, throttled vs un-throttled",
+        family="burst",
+        workload="sales",
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        traffic=TrafficSpec(
+            arrivals="flash_crowd",
+            params={"base_rate": 0.008, "spike_rate": 0.12,
+                    "spike_at": 1500.0, "spike_duration": 240.0},
+            queue_limit=8,
+            queue_timeout=180.0),
+        variants=(
+            VariantSpec("throttled", ConfigOverrides(throttling=True)),
+            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
+        ),
+        expect=(
+            Expectation("openloop.offered", ">", 0, variant="throttled"),
+            Expectation("openloop.admitted", ">", 0,
+                        variant="throttled"),
+            Expectation("openloop.offered", "==",
+                        variant="throttled", than_variant="unthrottled"),
+        ),
+        description="Sessions arrive on an open-loop schedule that "
+                    "spikes mid-measurement; the broker's trend "
+                    "monitors and the gateway ladder see true offered "
+                    "load instead of a politely waiting closed loop.")
+
+
+def noisy_neighbor_scenario(clients: int = 12, preset: str = "smoke",
+                            seed: int = 3) -> ScenarioSpec:
+    """BURST-NOISY: a steady tenant sharing admission with a bursty one."""
+    return ScenarioSpec(
+        scenario_id="burst-noisy",
+        title="Noisy neighbor: steady tenant vs flash-crowd tenant",
+        family="burst",
+        workload="mixed",
+        workload_params={"tpch_fraction": 0.4},
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        traffic=TrafficSpec(
+            arrivals="tenant_mix",
+            params={"tenants": {
+                "steady": {"process": "poisson", "rate": 0.008},
+                "noisy": {"process": "flash_crowd", "base_rate": 0.002,
+                          "spike_rate": 0.1, "spike_at": 1400.0,
+                          "spike_duration": 300.0},
+            }},
+            max_sessions=8,
+            queue_limit=4,
+            queue_timeout=150.0),
+        variants=(VariantSpec("shared"),),
+        expect=(
+            Expectation("openloop.tenant.steady.offered", ">", 0,
+                        variant="shared"),
+            Expectation("openloop.tenant.noisy.offered", ">", 0,
+                        variant="shared"),
+        ),
+        description="Two tenants on one admission queue: the noisy "
+                    "tenant's spike overflows the small queue and the "
+                    "per-tenant drop accounting shows who paid for it.")
+
+
+for _builder in (flash_crowd_scenario, noisy_neighbor_scenario):
+    register_scenario(_builder())

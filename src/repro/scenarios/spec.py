@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.config import ServerConfig, default_gateways, paper_server_config
 from repro.errors import ConfigurationError
+from repro.traffic.spec import TrafficSpec
 
 #: version of the JSON spec format.  ``ScenarioSpec.to_dict`` stamps
 #: it; ``from_dict`` accepts documents of this and every older version
@@ -23,8 +24,13 @@ from repro.errors import ConfigurationError
 #: rejects versions from the future so an old build never silently
 #: misreads a newer spec file.
 #: History: 1 = the PR 2 format; 2 = cross-variant expectations
-#: (``than_variant``, ``value`` optional).
-SPEC_FORMAT_VERSION = 2
+#: (``than_variant``, ``value`` optional); 3 = the open-loop
+#: ``traffic`` axis.
+#: Documents are stamped with the *minimal* version able to read them
+#: (a spec without a traffic axis is still a version-2 document), so
+#: pre-existing scenarios keep producing byte-identical artifacts and
+#: stay readable by older builds.
+SPEC_FORMAT_VERSION = 3
 
 #: comparison operators an Expectation may use
 EXPECTATION_OPS = {
@@ -274,6 +280,9 @@ class ScenarioSpec:
     preset: str = "smoke"
     seed: int = 3
     think_time: float = 15.0
+    #: open-loop traffic shape (arrival process or trace replay);
+    #: ``None`` = the default closed-loop think-time clients
+    traffic: Optional[TrafficSpec] = None
     variants: Tuple[VariantSpec, ...] = (VariantSpec("run"),)
     expect: Tuple[Expectation, ...] = ()
     render: str = "table"
@@ -327,6 +336,11 @@ class ScenarioSpec:
                 f"{', '.join(presets)}")
         if self.clients < 1:
             raise ConfigurationError("clients must be >= 1")
+        if self.traffic is not None and self.kind != "experiment":
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} is a {self.kind!r} "
+                f"scenario; the traffic axis only applies to "
+                f"experiment scenarios")
         if not self.variants:
             raise ConfigurationError(
                 f"scenario {self.scenario_id!r} needs at least one variant")
@@ -376,14 +390,25 @@ class ScenarioSpec:
     def variant_names(self) -> Tuple[str, ...]:
         return tuple(v.name for v in self.variants)
 
+    def document_version(self) -> int:
+        """The minimal spec-format version able to read this spec.
+
+        Only the traffic axis needs version 3; everything else has been
+        expressible since version 2.  Minimal stamping is what keeps
+        pre-traffic scenarios byte-identical in artifacts across this
+        format bump.
+        """
+        return SPEC_FORMAT_VERSION if self.traffic is not None else 2
+
     def to_dict(self) -> dict:
         """The JSON-ready document form of this spec.
 
-        Stamped with the spec-format ``version`` so files written today
-        stay readable (or fail loudly) as the format evolves.
+        Stamped with the spec-format ``version`` (the minimal one able
+        to read it, see :meth:`document_version`) so files written
+        today stay readable (or fail loudly) as the format evolves.
         """
-        return {
-            "version": SPEC_FORMAT_VERSION,
+        doc = {
+            "version": self.document_version(),
             "scenario_id": self.scenario_id,
             "title": self.title,
             "family": self.family,
@@ -394,11 +419,16 @@ class ScenarioSpec:
             "preset": self.preset,
             "seed": self.seed,
             "think_time": self.think_time,
+        }
+        if self.traffic is not None:
+            doc["traffic"] = self.traffic.to_dict()
+        doc.update({
             "variants": [v.to_dict() for v in self.variants],
             "expect": [e.to_dict() for e in self.expect],
             "render": self.render,
             "description": self.description,
-        }
+        })
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ScenarioSpec":
@@ -410,6 +440,9 @@ class ScenarioSpec:
         """
         doc = _checked_version(doc, "scenario")
         kwargs = _checked_kwargs(cls, doc, "scenario")
+        traffic = kwargs.get("traffic")
+        if isinstance(traffic, dict):
+            kwargs["traffic"] = TrafficSpec.from_dict(traffic)
         variants = kwargs.get("variants")
         if variants is not None:
             kwargs["variants"] = tuple(

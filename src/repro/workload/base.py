@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.catalog.catalog import Catalog
 
@@ -41,6 +42,30 @@ class Workload:
 
     def generate(self, rng: random.Random) -> WorkloadQuery:
         raise NotImplementedError
+
+    def template_names(self) -> List[str]:
+        """The replayable template names this workload understands.
+
+        The default reads the ``_templates`` (name, builder) list the
+        concrete workloads keep; workloads without one replay nothing.
+        """
+        templates = getattr(self, "_templates", None)
+        return [name for name, _ in templates] if templates else []
+
+    def generate_named(self, template: str,
+                       rng: random.Random) -> Optional[WorkloadQuery]:
+        """Generate a fresh instance of one named template.
+
+        The trace-replay hook: a trace event naming a template gets a
+        new uniquified query of that shape (literals and the ad-hoc tag
+        still come from ``rng``).  Returns ``None`` for unknown names
+        so replay can fall back to :meth:`generate`.
+        """
+        templates = getattr(self, "_templates", None) or ()
+        for name, builder in templates:
+            if name == template:
+                return WorkloadQuery(text=builder(rng), template=name)
+        return None
 
 
 def adhoc_tag(rng: random.Random) -> str:

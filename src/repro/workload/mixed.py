@@ -11,6 +11,7 @@ OLTP mix or the TPC-H mix by a configurable fraction.
 from __future__ import annotations
 
 import random
+from typing import List, Optional
 
 from repro.catalog.catalog import Catalog
 from repro.workload.base import Workload, WorkloadQuery
@@ -41,3 +42,11 @@ class MixedWorkload(Workload):
         if rng.random() < self.tpch_fraction:
             return self._tpch.generate(rng)
         return self._oltp.generate(rng)
+
+    def template_names(self) -> List[str]:
+        return self._oltp.template_names() + self._tpch.template_names()
+
+    def generate_named(self, template: str,
+                       rng: random.Random) -> Optional[WorkloadQuery]:
+        return (self._oltp.generate_named(template, rng)
+                or self._tpch.generate_named(template, rng))

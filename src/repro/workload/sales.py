@@ -199,8 +199,8 @@ class SalesWorkload(Workload):
         name, template = self._templates[rng.randrange(len(self._templates))]
         return WorkloadQuery(text=template(rng), template=name)
 
-    def template_names(self) -> List[str]:
-        return [name for name, _ in self._templates]
+    # template_names()/generate_named() come from the Workload base,
+    # reading the _templates list above
 
     # each template returns unique text: varied literals + ad-hoc tag ----
     def _date_window(self, rng: random.Random,

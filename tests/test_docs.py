@@ -56,7 +56,7 @@ def repro_commands(path: Path):
 def test_docs_exist():
     for name in ("architecture.md", "scenarios.md", "sharding.md",
                  "cli.md", "executors.md", "operations.md",
-                 "results.md"):
+                 "results.md", "traffic.md"):
         assert (REPO / "docs" / name).is_file(), name
     assert DOC_FILES, "no documentation files found"
 
@@ -66,7 +66,7 @@ def test_documented_commands_parse(path):
     """Every documented `repro` invocation must parse cleanly."""
     commands = repro_commands(path)
     if path.name in ("cli.md", "sharding.md", "executors.md",
-                     "operations.md", "results.md"):
+                     "operations.md", "results.md", "traffic.md"):
         assert commands, f"{path.name} documents no repro commands"
     parser = build_parser()
     for command in commands:
@@ -117,7 +117,9 @@ def test_cli_reference_covers_every_subcommand():
                     "figure", "sweep", "ablation",
                     "experiments", "query", "monitors",
                     "results load", "results query", "results diff",
-                    "results trend", "results radar"):
+                    "results trend", "results radar",
+                    "traces validate", "traces summarize",
+                    "traces synth"):
         assert f"repro {command}" in text, f"cli.md misses {command!r}"
 
 
