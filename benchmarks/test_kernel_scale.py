@@ -1,0 +1,103 @@
+"""KERNEL-SCALE — sessions vs wall-clock throughput, both kernels.
+
+The flood scenario at 1k/10k/100k session slots, run on the legacy
+heap core and on the calendar-queue wheel.  Two claims are pinned:
+
+* the kernels agree on every simulation-visible number (the
+  differential contract, here at benchmark scale rather than the
+  harness's small N), and
+* the wheel's wall-clock cost grows no worse than the legacy core's
+  as the population scales (the reason it exists).
+
+``REPRO_PRESET`` gates the sweep size exactly like fidelity elsewhere:
+"smoke" (the tier-1 default) stops at 1k sessions, "scaled" adds 10k,
+"paper" runs the full 100k point.  With ``REPRO_BENCH_DIR`` set the
+sweep lands in ``BENCH_kernel_scale.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.engine import write_bench_document
+from repro.scenarios.facade import run_scenario
+from repro.scenarios.library import scale_flood_scenario
+from benchmarks.conftest import BENCH_DIR, print_banner
+
+#: preset -> session-slot sizes the sweep covers
+SWEEP = {
+    "smoke": (1_000,),
+    "scaled": (1_000, 10_000),
+    "paper": (1_000, 10_000, 100_000),
+}
+KERNELS = ("legacy", "wheel")
+
+
+def _sim_facts(result) -> dict:
+    """Every metric the simulation determines (wall clock excluded)."""
+    return {
+        variant: {name: value for name, value in metrics.items()
+                  if name != "wall_seconds"}
+        for variant, metrics in result.variant_metrics.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep(preset, seed):
+    sizes = SWEEP.get(preset, SWEEP["smoke"])
+    rows = []
+    for sessions in sizes:
+        facts = {}
+        for kernel in KERNELS:
+            spec = scale_flood_scenario(sessions=sessions, seed=seed,
+                                        kernel=kernel)
+            started = time.perf_counter()
+            result = run_scenario(spec)
+            wall = time.perf_counter() - started
+            assert result.ok, result.render()
+            facts[kernel] = _sim_facts(result)
+            offered = result.variant_metrics["flood"]["openloop.offered"]
+            rows.append({
+                "sessions": sessions,
+                "kernel": kernel,
+                "offered": offered,
+                "admitted": result.variant_metrics["flood"]
+                ["openloop.admitted"],
+                "completed": result.variant_metrics["flood"]["completed"],
+                "wall_seconds": round(wall, 3),
+                "sessions_per_second": round(offered / wall, 1),
+            })
+        # the differential contract at benchmark scale
+        assert facts["legacy"] == facts["wheel"], (
+            f"kernels disagree at {sessions} sessions")
+    return rows
+
+
+def test_kernel_scale_sweep(benchmark, sweep):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    print_banner("Kernel scale: sessions vs wall-clock throughput")
+    header = (f"{'sessions':>10} {'kernel':>8} {'offered':>9} "
+              f"{'wall s':>8} {'sess/s':>9}")
+    print(header)
+    for row in sweep:
+        print(f"{row['sessions']:>10} {row['kernel']:>8} "
+              f"{row['offered']:>9.0f} {row['wall_seconds']:>8.2f} "
+              f"{row['sessions_per_second']:>9.1f}")
+
+    # every point offered its full population
+    for row in sweep:
+        assert row["offered"] >= row["sessions"]
+
+    # the wheel must not scale WORSE than the heap: at the largest
+    # size in the sweep it processes sessions at >= half the legacy
+    # rate (generous: same-order, while catching a pathological wheel)
+    largest = max(row["sessions"] for row in sweep)
+    rate = {row["kernel"]: row["sessions_per_second"]
+            for row in sweep if row["sessions"] == largest}
+    assert rate["wheel"] >= 0.5 * rate["legacy"], rate
+
+    if BENCH_DIR:
+        write_bench_document(BENCH_DIR, "kernel_scale", {
+            "kernels": list(KERNELS),
+            "rows": sweep,
+        })

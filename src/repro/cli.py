@@ -111,6 +111,10 @@ def _add_selection_args(parser: argparse.ArgumentParser) -> None:
                         help="override each spec's seed")
     parser.add_argument("--clients", type=int, default=None,
                         help="override each spec's client count")
+    from repro.sim import KERNEL_NAMES
+    parser.add_argument("--kernel", default=None, choices=KERNEL_NAMES,
+                        help="override each spec's scheduler core "
+                             "(results are identical; wall clock is not)")
 
 
 def _add_executor_args(parser: argparse.ArgumentParser,
@@ -558,8 +562,13 @@ def _resolve_run_specs(args) -> list:
                 f"different specs; rename the --scenario file's "
                 f"scenario_id or drop one selection")
         unique[spec.scenario_id] = spec
+    # the kernel knob only exists on experiment scenarios; a selection
+    # mixing in monitors/trace scenarios keeps those on their default
+    kernel = getattr(args, "kernel", None)
     return [spec.customized(preset=args.preset, seed=args.seed,
-                            clients=args.clients)
+                            clients=args.clients,
+                            kernel=(kernel if spec.kind == "experiment"
+                                    else None))
             for spec in unique.values()]
 
 

@@ -40,7 +40,10 @@ from repro.experiments.runner import (
 #: Amendment under 4 (backward compatible, no bump): open-loop runs add
 #: a ``traffic`` key to their config doc and an ``open_loop`` fact
 #: block to their summary; both appear only when a run carries a
-#: traffic spec, so closed-loop artifacts are byte-identical)
+#: traffic spec, so closed-loop artifacts are byte-identical.
+#: Second amendment under 4: runs on a non-default scheduler core add
+#: a ``kernel`` key to their config doc — again only when non-default,
+#: so legacy-kernel artifacts keep their exact bytes)
 ARTIFACT_SCHEMA = 4
 
 #: recordings kept per search profile in a shared pool
@@ -302,6 +305,8 @@ def summarize_result(result: ExperimentResult) -> dict:
     }
     if config.traffic is not None:
         config_doc["traffic"] = config.traffic.to_dict()
+    if config.kernel != "legacy":
+        config_doc["kernel"] = config.kernel
     summary = {
         "config": config_doc,
         "completed": result.completed,

@@ -18,6 +18,7 @@ from repro.config import ServerConfig, paper_server_config
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
 from repro.server.server import DatabaseServer
+from repro.sim import Environment
 from repro.traffic.spec import TrafficSpec
 from repro.workload.base import Workload
 from repro.workload.loadgen import ClientStats, LoadGenerator
@@ -82,6 +83,10 @@ class ExperimentConfig:
     #: open-loop traffic shape (arrival process or trace replay);
     #: ``None`` keeps the closed-loop think-time clients, byte-for-byte
     traffic: Optional[TrafficSpec] = None
+    #: scheduler core for the simulation (``legacy`` heap or the
+    #: calendar-queue ``wheel``); both pop events in the identical
+    #: order, so this trades wall clock only, never simulated numbers
+    kernel: str = "legacy"
     #: overrides applied to the ServerConfig after preset handling
     server_overrides: Optional[ServerConfig] = None
     #: capture a final :meth:`ServerViews.snapshot` with the result
@@ -215,7 +220,9 @@ def run_experiment(config: ExperimentConfig,
     catalog = workload.build_catalog()
 
     metrics = MetricsCollector(bucket_width=preset.bucket / scale)
-    server = DatabaseServer(server_config, catalog, metrics=metrics)
+    env = Environment(kernel=config.kernel)
+    server = DatabaseServer(server_config, catalog, env=env,
+                            metrics=metrics)
     profile = None
     if shared_searches is not None:
         profile = search_profile(config, server_config)

@@ -59,6 +59,7 @@ def jobs_for_scenario(spec: ScenarioSpec,
                 workload=spec.workload,
                 workload_params=spec.workload_params,
                 traffic=spec.traffic,
+                kernel=spec.kernel,
                 clients=(variant.clients if variant.clients is not None
                          else spec.clients),
                 throttling=throttling,
@@ -211,6 +212,7 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
             (str(k), v) for k, v in config_doc["workload_params"].items())),
         traffic=(TrafficSpec.from_dict(config_doc["traffic"])
                  if "traffic" in config_doc else None),
+        kernel=config_doc.get("kernel", "legacy"),
         clients=config_doc["clients"],
         throttling=config_doc["throttling"],
         preset=config_doc["preset"],

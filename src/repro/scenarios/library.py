@@ -15,6 +15,9 @@ Families
 ``ladder``      full ladder vs small-monitor-only across load levels
 ``burst``       open-loop adversarial arrivals (flash crowds, noisy
                 multi-tenant mixes) through the admission path
+``scale``       FIG-3-style curves at 100x-1000x the paper population
+                on the calendar-queue ``wheel`` kernel, plus the
+                100 000-session flood the scale-smoke CI lane runs
 """
 
 from __future__ import annotations
@@ -363,3 +366,96 @@ def noisy_neighbor_scenario(clients: int = 12, preset: str = "smoke",
 
 for _builder in (flash_crowd_scenario, noisy_neighbor_scenario):
     register_scenario(_builder())
+
+
+# --------------------------------------------------- scale (new family)
+#: the paper testbed's client population (FIG-3), which the scale
+#: family multiplies
+PAPER_POPULATION = 30
+
+
+def scale_scenario(factor: int, preset: str = "smoke", seed: int = 3,
+                   kernel: str = "wheel") -> ScenarioSpec:
+    """SCALE-<factor>X: FIG-3 throughput at ``factor`` times the paper
+    population, driven open-loop on the ``wheel`` kernel.
+
+    ``factor * 30`` admission slots with a Poisson arrival stream
+    sized to keep every slot contended for the whole run — the offered
+    load a closed loop can never generate.  Results are identical on
+    the legacy kernel (the differential harness checks exactly that at
+    small N); the wheel is the default here because at these
+    populations it is the kernel that keeps the run CI-sized.
+    """
+    population = PAPER_POPULATION * factor
+    return ScenarioSpec(
+        scenario_id=f"scale-{factor}x",
+        title=f"SCALE-{factor}X: throughput at {population} sessions",
+        family="scale",
+        workload="sales",
+        clients=PAPER_POPULATION,
+        preset=preset,
+        seed=seed,
+        kernel=kernel,
+        traffic=TrafficSpec(
+            arrivals="poisson",
+            params={"rate": population / 1800.0},
+            max_sessions=population,
+            queue_limit=max(64, population // 8),
+            queue_timeout=240.0),
+        variants=(
+            VariantSpec("throttled", ConfigOverrides(throttling=True)),
+            VariantSpec("unthrottled", ConfigOverrides(throttling=False)),
+        ),
+        expect=(
+            Expectation("openloop.offered", ">", 0, variant="throttled"),
+            Expectation("openloop.admitted", ">", 0,
+                        variant="throttled"),
+            Expectation("openloop.offered", "==",
+                        variant="throttled", than_variant="unthrottled"),
+        ),
+        render="comparison",
+        description=f"The paper's 30-client experiment blown up "
+                    f"{factor}x: {population} concurrent session slots "
+                    f"under open-loop Poisson arrivals.")
+
+
+def scale_flood_scenario(sessions: int = 100_000, preset: str = "smoke",
+                         seed: int = 3,
+                         kernel: str = "wheel") -> ScenarioSpec:
+    """SCALE-FLOOD: 10^5 concurrent session slots in one run.
+
+    The scale-smoke CI lane runs this scenario on the wheel kernel
+    under a wall-clock budget; its artifact is radar-pinned so a
+    regression in kernel throughput or admission accounting blocks.
+    """
+    return ScenarioSpec(
+        scenario_id="scale-flood",
+        title=f"SCALE-FLOOD: {sessions} session flood",
+        family="scale",
+        workload="sales",
+        clients=PAPER_POPULATION,
+        preset=preset,
+        seed=seed,
+        kernel=kernel,
+        traffic=TrafficSpec(
+            arrivals="poisson",
+            params={"rate": sessions / 2800.0},
+            max_sessions=sessions,
+            queue_limit=sessions // 8,
+            queue_timeout=240.0),
+        variants=(VariantSpec("flood",
+                              ConfigOverrides(throttling=True)),),
+        expect=(
+            Expectation("openloop.offered", ">=", float(sessions),
+                        variant="flood"),
+            Expectation("openloop.admitted", ">", 0, variant="flood"),
+        ),
+        description=f"{sessions} admission slots, arrivals sized to "
+                    f"offer the full population within the run: the "
+                    f"million-session-bound stress the struct-of-"
+                    f"arrays tables and the event wheel exist for.")
+
+
+for _scale_factor in (100, 1000):
+    register_scenario(scale_scenario(_scale_factor))
+register_scenario(scale_flood_scenario())

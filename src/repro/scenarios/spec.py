@@ -25,12 +25,14 @@ from repro.traffic.spec import TrafficSpec
 #: misreads a newer spec file.
 #: History: 1 = the PR 2 format; 2 = cross-variant expectations
 #: (``than_variant``, ``value`` optional); 3 = the open-loop
-#: ``traffic`` axis.
+#: ``traffic`` axis; 4 = the ``kernel`` knob (simulation scheduler
+#: core selection).
 #: Documents are stamped with the *minimal* version able to read them
-#: (a spec without a traffic axis is still a version-2 document), so
+#: (a spec without a traffic axis is still a version-2 document; one
+#: on the default legacy kernel needs at most version 3), so
 #: pre-existing scenarios keep producing byte-identical artifacts and
 #: stay readable by older builds.
-SPEC_FORMAT_VERSION = 3
+SPEC_FORMAT_VERSION = 4
 
 #: comparison operators an Expectation may use
 EXPECTATION_OPS = {
@@ -283,6 +285,10 @@ class ScenarioSpec:
     #: open-loop traffic shape (arrival process or trace replay);
     #: ``None`` = the default closed-loop think-time clients
     traffic: Optional[TrafficSpec] = None
+    #: simulation scheduler core (``legacy`` heap or the calendar-queue
+    #: ``wheel``); kernels pop events in the identical order, so this
+    #: knob trades wall clock, never simulated numbers
+    kernel: str = "legacy"
     variants: Tuple[VariantSpec, ...] = (VariantSpec("run"),)
     expect: Tuple[Expectation, ...] = ()
     render: str = "table"
@@ -341,6 +347,17 @@ class ScenarioSpec:
                 f"scenario {self.scenario_id!r} is a {self.kind!r} "
                 f"scenario; the traffic axis only applies to "
                 f"experiment scenarios")
+        from repro.sim.environment import KERNEL_NAMES
+
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; valid kernels: "
+                f"{', '.join(KERNEL_NAMES)}")
+        if self.kernel != "legacy" and self.kind != "experiment":
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} is a {self.kind!r} "
+                f"scenario; the kernel knob only applies to "
+                f"experiment scenarios")
         if not self.variants:
             raise ConfigurationError(
                 f"scenario {self.scenario_id!r} needs at least one variant")
@@ -367,7 +384,8 @@ class ScenarioSpec:
     # ------------------------------------------------------------ API
     def customized(self, preset: Optional[str] = None,
                    seed: Optional[int] = None,
-                   clients: Optional[int] = None) -> "ScenarioSpec":
+                   clients: Optional[int] = None,
+                   kernel: Optional[str] = None) -> "ScenarioSpec":
         """A copy with CLI-style overrides applied (and re-validated).
 
         A ``clients`` override takes effect for every variant,
@@ -385,6 +403,8 @@ class ScenarioSpec:
             updates["seed"] = seed
         if clients is not None:
             updates["clients"] = clients
+        if kernel is not None:
+            updates["kernel"] = kernel
         return replace(spec, **updates) if updates else spec
 
     def variant_names(self) -> Tuple[str, ...]:
@@ -393,12 +413,16 @@ class ScenarioSpec:
     def document_version(self) -> int:
         """The minimal spec-format version able to read this spec.
 
-        Only the traffic axis needs version 3; everything else has been
-        expressible since version 2.  Minimal stamping is what keeps
-        pre-traffic scenarios byte-identical in artifacts across this
-        format bump.
+        Only a non-default kernel needs version 4 and only the traffic
+        axis needs version 3; everything else has been expressible
+        since version 2.  Minimal stamping is what keeps pre-existing
+        scenarios byte-identical in artifacts across format bumps.
         """
-        return SPEC_FORMAT_VERSION if self.traffic is not None else 2
+        if self.kernel != "legacy":
+            return 4
+        if self.traffic is not None:
+            return 3
+        return 2
 
     def to_dict(self) -> dict:
         """The JSON-ready document form of this spec.
@@ -422,6 +446,8 @@ class ScenarioSpec:
         }
         if self.traffic is not None:
             doc["traffic"] = self.traffic.to_dict()
+        if self.kernel != "legacy":
+            doc["kernel"] = self.kernel
         doc.update({
             "variants": [v.to_dict() for v in self.variants],
             "expect": [e.to_dict() for e in self.expect],

@@ -9,22 +9,34 @@ The whole repro DBMS — CPU scheduler, disk, memory broker, compilation
 gateways, client load generator — is built as processes on this kernel,
 which is what lets us replay hours of simulated server time in seconds
 and still get deterministic, reproducible interleavings.
+
+Two scheduler cores back the same :class:`Environment` facade: the
+default ``legacy`` binary heap and the ``wheel`` calendar queue
+(:mod:`repro.sim.wheel`) for very large session populations.  They pop
+events in the identical ``(time, eid)`` order, so kernel choice never
+changes a simulated number — see ``docs/kernel.md``.
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
-from repro.sim.environment import Environment
+from repro.sim.environment import Environment, KERNEL_NAMES
 from repro.sim.process import Process
 from repro.sim.resources import Request, Resource, Store
+from repro.sim.state import GatewayTable, SessionTable
+from repro.sim.wheel import EventWheel
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Environment",
     "Event",
+    "EventWheel",
+    "GatewayTable",
     "Interrupt",
+    "KERNEL_NAMES",
     "Process",
     "Request",
     "Resource",
+    "SessionTable",
     "Store",
     "Timeout",
 ]

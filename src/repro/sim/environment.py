@@ -1,8 +1,19 @@
-"""The simulation environment: clock plus event heap.
+"""The simulation environment: clock plus event schedule.
 
 :class:`Environment` is the kernel's scheduler.  ``schedule`` places a
-triggered event on the heap; ``step`` pops the earliest event and runs
-its callbacks; ``run`` steps until a deadline or until no events remain.
+triggered event on the schedule; ``step`` pops the earliest event and
+runs its callbacks; ``run`` steps until a deadline or until no events
+remain.
+
+Two interchangeable scheduler cores back the same facade — the
+``kernel`` constructor knob picks one (see ``docs/kernel.md``):
+
+* ``legacy`` (default) — one binary heap ordered by ``(time, eid)``.
+* ``wheel`` — the calendar-queue :class:`~repro.sim.wheel.EventWheel`:
+  O(1) bucket inserts for near-horizon timers with a heap spillover
+  for far-future events.  Pops in exactly the legacy order (same
+  timestamps, same FIFO tie-breaking), so every simulated number is
+  identical between kernels; the differential harness pins it.
 """
 
 from __future__ import annotations
@@ -12,6 +23,9 @@ from typing import Any, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+#: the selectable scheduler cores
+KERNEL_NAMES = ("legacy", "wheel")
 
 
 class Environment:
@@ -29,14 +43,30 @@ class Environment:
     10.0
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "active_process")
+    __slots__ = ("_now", "_queue", "_eid", "_wheel", "active_process")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, kernel: str = "legacy"):
+        if kernel not in KERNEL_NAMES:
+            raise SimulationError(
+                f"unknown kernel {kernel!r}; valid kernels: "
+                f"{', '.join(KERNEL_NAMES)}")
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
+        if kernel == "wheel":
+            from repro.sim.wheel import EventWheel
+
+            self._wheel: Optional["EventWheel"] = \
+                EventWheel(start=self._now)
+        else:
+            self._wheel = None
         #: the process currently being resumed (kernel internal)
         self.active_process = None
+
+    @property
+    def kernel(self) -> str:
+        """Which scheduler core backs this environment."""
+        return "legacy" if self._wheel is None else "wheel"
 
     @property
     def now(self) -> float:
@@ -68,19 +98,29 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
-        """Place a triggered event on the heap, ``delay`` seconds from now."""
+        """Place a triggered event on the schedule, ``delay`` s from now."""
         self._eid += 1
-        heappush(self._queue, (self._now + delay, self._eid, event))
+        if self._wheel is None:
+            heappush(self._queue, (self._now + delay, self._eid, event))
+        else:
+            self._wheel.push(self._now + delay, self._eid, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._wheel is not None:
+            return self._wheel.peek()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the single earliest event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty schedule")
-        when, _, event = heappop(self._queue)
+        if self._wheel is None:
+            if not self._queue:
+                raise SimulationError("step() on an empty schedule")
+            when, _, event = heappop(self._queue)
+        else:
+            if not self._wheel:
+                raise SimulationError("step() on an empty schedule")
+            when, _, event = self._wheel.pop()
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -93,7 +133,7 @@ class Environment:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap is exhausted or the clock reaches ``until``.
+        """Run until the schedule drains or the clock reaches ``until``.
 
         When ``until`` is given the clock is advanced to exactly that
         time before returning, even if no event falls on it.
@@ -105,12 +145,31 @@ class Environment:
             limit = float(until)
         else:
             limit = float("inf")
-        # inlined step(): this loop dispatches every event of a run, so
-        # the attribute lookups are hoisted out
-        queue = self._queue
-        pop = heappop
-        while queue and queue[0][0] <= limit:
-            when, _, event = pop(queue)
+        if self._wheel is not None:
+            self._run_wheel(limit)
+        else:
+            # inlined step(): this loop dispatches every event of a run,
+            # so the attribute lookups are hoisted out
+            queue = self._queue
+            pop = heappop
+            while queue and queue[0][0] <= limit:
+                when, _, event = pop(queue)
+                if when < self._now:
+                    raise SimulationError("event scheduled in the past")
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        if until is not None:
+            self._now = limit
+
+    def _run_wheel(self, limit: float) -> None:
+        """The dispatch loop over the calendar-queue core."""
+        wheel = self._wheel
+        while wheel and wheel.peek() <= limit:
+            when, _, event = wheel.pop()
             if when < self._now:
                 raise SimulationError("event scheduled in the past")
             self._now = when
@@ -119,5 +178,3 @@ class Environment:
                 callback(event)
             if not event._ok and not event._defused:
                 raise event._value
-        if until is not None:
-            self._now = limit

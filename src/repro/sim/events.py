@@ -100,6 +100,11 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Copy the outcome of another event onto this one (callback form)."""
+        if not event.triggered:
+            # guard before touching _defused: marking a still-pending
+            # event defused would silently swallow a later real failure
+            raise SimulationError(
+                f"cannot copy the outcome of pending {event!r}")
         if event._ok:
             self.succeed(event._value)
         else:

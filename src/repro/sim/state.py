@@ -1,0 +1,220 @@
+"""Struct-of-arrays state tables for very large populations.
+
+At 10^5-10^6 concurrent sessions, one Python object (or one list
+append that resizes) per session is what blows the heap up, not the
+event queue.  These tables keep per-session and per-gateway facts in
+**preallocated stdlib ``array`` columns keyed by index** — contiguous
+machine-typed storage (8 bytes per float cell instead of a ~56-byte
+boxed float plus list slot), grown geometrically and shared by both
+kernels so storage layout can never change a simulated number.
+
+:class:`SessionTable` is the open-loop admission ledger: one row per
+offered session, written by :class:`~repro.traffic.openloop.
+OpenLoopGenerator` as arrivals flow through admission.
+
+:class:`GatewayTable` backs the throttle ladder's cumulative monitor
+counters; :class:`GatewayStatsView` gives each gateway the attribute
+surface the legacy per-gateway dataclass had, so
+``repro.throttle.gateway`` code runs unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Tuple
+
+#: session outcome codes (the ``outcome`` column)
+QUEUED = 0          #: offered, still waiting for an admission slot
+ADMITTED = 1        #: got a slot (wait column is valid from here on)
+DROPPED_QUEUE = 2   #: dropped on arrival: admission queue was full
+DROPPED_TIMEOUT = 3  #: dropped after queueing: no slot in time
+SUCCEEDED = 4       #: admitted and the query completed ok
+FAILED = 5          #: admitted and the query errored
+
+
+def _grown(column: array, capacity: int) -> array:
+    """A copy of ``column`` zero-padded out to ``capacity`` cells."""
+    fresh = array(column.typecode, bytes(column.itemsize * capacity))
+    fresh[:len(column)] = column
+    return fresh
+
+
+class SessionTable:
+    """Per-session admission facts in preallocated array columns.
+
+    Rows are keyed by the arrival index the open-loop generator already
+    assigns.  Columns: ``queued_at`` (sim-seconds, ``d``), ``wait``
+    (admission wait, ``d``), ``outcome`` (code, ``b``) and ``tenant``
+    (interned tenant index, ``i``).
+    """
+
+    __slots__ = ("capacity", "size", "queued_at", "wait", "outcome",
+                 "tenant", "_tenant_ids", "_tenant_names")
+
+    def __init__(self, capacity: int = 4096):
+        capacity = max(1, int(capacity))
+        self.capacity = capacity
+        self.size = 0
+        self.queued_at = array("d", bytes(8 * capacity))
+        self.wait = array("d", bytes(8 * capacity))
+        self.outcome = array("b", bytes(capacity))
+        self.tenant = array("i", bytes(4 * capacity))
+        self._tenant_ids: Dict[str, int] = {}
+        self._tenant_names: List[str] = []
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------ write
+    def tenant_id(self, name: str) -> int:
+        """Intern a tenant name to its column index."""
+        tid = self._tenant_ids.get(name)
+        if tid is None:
+            tid = len(self._tenant_names)
+            self._tenant_ids[name] = tid
+            self._tenant_names.append(name)
+        return tid
+
+    def offered(self, index: int, at: float, tenant: str) -> None:
+        """Record one arrival (row ``index``) entering admission."""
+        if index >= self.capacity:
+            self._grow(index + 1)
+        if index >= self.size:
+            self.size = index + 1
+        self.queued_at[index] = at
+        self.outcome[index] = QUEUED
+        self.tenant[index] = self.tenant_id(tenant)
+
+    def resolve(self, index: int, outcome: int, wait: float = 0.0) -> None:
+        """Advance row ``index`` to a terminal/admitted outcome."""
+        self.outcome[index] = outcome
+        self.wait[index] = wait
+
+    def _grow(self, needed: int) -> None:
+        capacity = self.capacity
+        while capacity < needed:
+            capacity *= 2
+        self.queued_at = _grown(self.queued_at, capacity)
+        self.wait = _grown(self.wait, capacity)
+        self.outcome = _grown(self.outcome, capacity)
+        self.tenant = _grown(self.tenant, capacity)
+        self.capacity = capacity
+
+    # ------------------------------------------------------------- read
+    def tenant_name(self, tid: int) -> str:
+        return self._tenant_names[tid]
+
+    def tenant_names(self) -> Tuple[str, ...]:
+        return tuple(self._tenant_names)
+
+    def count(self, *outcomes: int) -> int:
+        """Rows whose outcome is any of ``outcomes``."""
+        wanted = set(outcomes)
+        column = self.outcome
+        return sum(column[i] in wanted for i in range(self.size))
+
+    def admission_waits(self) -> List[float]:
+        """The wait column of every session that won a slot (admitted
+        rows and their terminal successors), in arrival order."""
+        outcome = self.outcome
+        wait = self.wait
+        return [wait[i] for i in range(self.size)
+                if outcome[i] in (ADMITTED, SUCCEEDED, FAILED)]
+
+    def by_tenant(self, *outcomes: int) -> Dict[str, int]:
+        """Tenant name -> count of rows with any of ``outcomes``."""
+        wanted = set(outcomes)
+        counts: Dict[str, int] = {}
+        outcome = self.outcome
+        tenant = self.tenant
+        for i in range(self.size):
+            if outcome[i] in wanted:
+                name = self._tenant_names[tenant[i]]
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def rows(self) -> Iterator[Tuple[float, float, int, str]]:
+        """(queued_at, wait, outcome, tenant) per session, in order."""
+        for i in range(self.size):
+            yield (self.queued_at[i], self.wait[i], self.outcome[i],
+                   self._tenant_names[self.tenant[i]])
+
+
+class GatewayTable:
+    """Cumulative monitor counters for a whole ladder, column-wise.
+
+    One row per gateway: ``acquires``/``timeouts``/``peak_queue`` as
+    unsigned machine ints and ``total_wait`` as a float column.  The
+    arithmetic per update is identical to the legacy per-gateway
+    dataclass (same operations on the same Python numbers), so the
+    table is pure storage — it can never change a simulated number.
+    """
+
+    __slots__ = ("acquires", "timeouts", "peak_queue", "total_wait",
+                 "rows")
+
+    def __init__(self, gateways: int):
+        gateways = max(1, int(gateways))
+        self.rows = gateways
+        self.acquires = array("Q", bytes(8 * gateways))
+        self.timeouts = array("Q", bytes(8 * gateways))
+        self.peak_queue = array("Q", bytes(8 * gateways))
+        self.total_wait = array("d", bytes(8 * gateways))
+
+    def view(self, row: int) -> "GatewayStatsView":
+        return GatewayStatsView(self, row)
+
+
+class GatewayStatsView:
+    """One gateway's window onto a :class:`GatewayTable` row.
+
+    Attribute-compatible with the historical ``GatewayStats``
+    dataclass (``acquires``/``timeouts``/``total_wait``/``peak_queue``
+    plus ``mean_wait()``), which is what keeps the throttle code and
+    every stats consumer unchanged.
+    """
+
+    __slots__ = ("_table", "_row")
+
+    def __init__(self, table: GatewayTable, row: int):
+        if not 0 <= row < table.rows:
+            raise IndexError(f"gateway row {row} out of range "
+                             f"(table has {table.rows})")
+        self._table = table
+        self._row = row
+
+    @property
+    def acquires(self) -> int:
+        return self._table.acquires[self._row]
+
+    @acquires.setter
+    def acquires(self, value: int) -> None:
+        self._table.acquires[self._row] = value
+
+    @property
+    def timeouts(self) -> int:
+        return self._table.timeouts[self._row]
+
+    @timeouts.setter
+    def timeouts(self, value: int) -> None:
+        self._table.timeouts[self._row] = value
+
+    @property
+    def peak_queue(self) -> int:
+        return self._table.peak_queue[self._row]
+
+    @peak_queue.setter
+    def peak_queue(self, value: int) -> None:
+        self._table.peak_queue[self._row] = value
+
+    @property
+    def total_wait(self) -> float:
+        return self._table.total_wait[self._row]
+
+    @total_wait.setter
+    def total_wait(self, value: float) -> None:
+        self._table.total_wait[self._row] = value
+
+    def mean_wait(self) -> float:
+        acquires = self.acquires
+        return self.total_wait / acquires if acquires else 0.0

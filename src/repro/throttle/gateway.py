@@ -10,7 +10,14 @@ from repro.sim import Environment, Request, Resource
 
 @dataclass
 class GatewayStats:
-    """Cumulative counters for one monitor."""
+    """Cumulative counters for one monitor.
+
+    A ladder owned by the :class:`~repro.throttle.governor.
+    CompilationGovernor` stores these column-wise in one
+    :class:`~repro.sim.state.GatewayTable` (a :class:`~repro.sim.state.
+    GatewayStatsView` has this exact attribute surface); this dataclass
+    remains the stand-alone form for gateways built directly.
+    """
 
     acquires: int = 0
     timeouts: int = 0
@@ -25,17 +32,19 @@ class Gateway:
     """A counted monitor with FIFO admission and a wait timeout.
 
     ``capacity`` is the number of concurrent compilations admitted
-    (4/CPU for the small gateway, 1/CPU medium, 1 big).
+    (4/CPU for the small gateway, 1/CPU medium, 1 big).  ``stats``
+    accepts any object with the :class:`GatewayStats` attribute
+    surface (the governor passes array-backed table views).
     """
 
     def __init__(self, env: Environment, name: str, capacity: int,
-                 timeout: float, time_scale: float = 1.0):
+                 timeout: float, time_scale: float = 1.0, stats=None):
         self.env = env
         self.name = name
         self.timeout = timeout
         self._time_scale = time_scale
         self._resource = Resource(env, capacity=capacity)
-        self.stats = GatewayStats()
+        self.stats = stats if stats is not None else GatewayStats()
 
     @property
     def capacity(self) -> int:

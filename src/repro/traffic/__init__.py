@@ -31,7 +31,11 @@ from repro.traffic.arrivals import (
     TenantMixArrivals,
     make_arrival_process,
 )
-from repro.traffic.openloop import OpenLoopGenerator, OpenLoopStats
+from repro.traffic.openloop import (
+    OpenLoopGenerator,
+    OpenLoopStats,
+    OpenLoopStatsView,
+)
 from repro.traffic.spec import TrafficSpec
 from repro.traffic.trace import (
     TRACE_FIELDS,
@@ -54,6 +58,7 @@ __all__ = [
     "FlashCrowdArrivals",
     "OpenLoopGenerator",
     "OpenLoopStats",
+    "OpenLoopStatsView",
     "ParetoArrivals",
     "PoissonArrivals",
     "TRACE_FIELDS",

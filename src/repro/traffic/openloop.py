@@ -27,14 +27,22 @@ from typing import Dict, List, Optional
 
 from repro.metrics.collector import MetricsCollector, QueryRecord
 from repro.server.server import DatabaseServer
+from repro.sim import state as session_state
 from repro.sim.resources import Resource
+from repro.sim.state import SessionTable
 from repro.traffic.spec import TrafficSpec
 from repro.workload.base import Workload, WorkloadQuery
 
 
 @dataclass
 class OpenLoopStats:
-    """Offered/admitted/drop accounting (one instance per run)."""
+    """Offered/admitted/drop accounting, as a stand-alone record.
+
+    The generator itself now keeps per-session facts in a
+    struct-of-arrays :class:`~repro.sim.state.SessionTable` and exposes
+    them through :class:`OpenLoopStatsView` (same attribute surface);
+    this dataclass remains for callers assembling stats by hand.
+    """
 
     offered: int = 0
     admitted: int = 0
@@ -54,6 +62,68 @@ class OpenLoopStats:
     @property
     def dropped(self) -> int:
         return self.dropped_queue + self.dropped_timeout
+
+
+class OpenLoopStatsView:
+    """The :class:`OpenLoopStats` attribute surface over a
+    :class:`~repro.sim.state.SessionTable`.
+
+    Every value is derived from the table's outcome column on access,
+    so the hot admission path writes one array cell per transition
+    instead of bumping a handful of counters and growing a wait list.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: SessionTable):
+        self._table = table
+
+    @property
+    def offered(self) -> int:
+        return len(self._table)
+
+    @property
+    def admitted(self) -> int:
+        return self._table.count(session_state.ADMITTED,
+                                 session_state.SUCCEEDED,
+                                 session_state.FAILED)
+
+    @property
+    def succeeded(self) -> int:
+        return self._table.count(session_state.SUCCEEDED)
+
+    @property
+    def failed(self) -> int:
+        return self._table.count(session_state.FAILED)
+
+    @property
+    def dropped_queue(self) -> int:
+        return self._table.count(session_state.DROPPED_QUEUE)
+
+    @property
+    def dropped_timeout(self) -> int:
+        return self._table.count(session_state.DROPPED_TIMEOUT)
+
+    @property
+    def dropped(self) -> int:
+        return self._table.count(session_state.DROPPED_QUEUE,
+                                 session_state.DROPPED_TIMEOUT)
+
+    @property
+    def queue_waits(self) -> List[float]:
+        return self._table.admission_waits()
+
+    @property
+    def offered_by_tenant(self) -> Dict[str, int]:
+        return self._table.by_tenant(
+            session_state.QUEUED, session_state.ADMITTED,
+            session_state.DROPPED_QUEUE, session_state.DROPPED_TIMEOUT,
+            session_state.SUCCEEDED, session_state.FAILED)
+
+    @property
+    def dropped_by_tenant(self) -> Dict[str, int]:
+        return self._table.by_tenant(session_state.DROPPED_QUEUE,
+                                     session_state.DROPPED_TIMEOUT)
 
 
 def _percentile(values: List[float], fraction: float) -> float:
@@ -95,7 +165,11 @@ class OpenLoopGenerator:
         self.max_sessions = (traffic.max_sessions
                              if traffic.max_sessions is not None
                              else clients)
-        self.stats = OpenLoopStats()
+        #: per-session admission ledger (struct-of-arrays; row = arrival
+        #: index) — at 10^5+ sessions this is the state that must not
+        #: be one Python object per session
+        self.table = SessionTable()
+        self.stats = OpenLoopStatsView(self.table)
         self._slots = Resource(server.env, capacity=self.max_sessions)
 
     # ------------------------------------------------------- lifecycle
@@ -131,45 +205,59 @@ class OpenLoopGenerator:
 
     # ------------------------------------------------------- processes
     def _admit(self):
+        """The admission driver: one wakeup per distinct arrival time.
+
+        Arrivals landing at the same instant (trace replays and burst
+        scenarios produce these by the thousand) admit as one cohort
+        from a single timer event, a tight loop over preassigned
+        indices — instead of re-entering the scheduler per session.
+        Cohort members were already processed back-to-back in the same
+        callback chain before (an arrival at ``now`` never yielded), so
+        batching cannot reorder a single event.
+        """
         env = self.server.env
         scale = self.server.config.time_scale
+        table = self.table
+        slots = self._slots
+        queue_limit = self.traffic.queue_limit
         index = 0
-        for arrival in self._arrival_stream():
-            at = arrival.at / scale  # paper seconds -> sim clock
+        stream = iter(self._arrival_stream())
+        pending = next(stream, None)
+        while pending is not None:
+            at = pending.at / scale  # paper seconds -> sim clock
             if at >= self.duration:
                 break
+            cohort = [pending]
+            pending = next(stream, None)
+            while pending is not None and pending.at / scale == at:
+                cohort.append(pending)
+                pending = next(stream, None)
             if at > env.now:
                 yield env.timeout(at - env.now)
-            stats = self.stats
-            stats.offered += 1
-            stats.offered_by_tenant[arrival.tenant] = \
-                stats.offered_by_tenant.get(arrival.tenant, 0) + 1
-            must_queue = self._slots.count >= self._slots.capacity
-            if must_queue and self._slots.queued >= self.traffic.queue_limit:
-                stats.dropped_queue += 1
-                stats.dropped_by_tenant[arrival.tenant] = \
-                    stats.dropped_by_tenant.get(arrival.tenant, 0) + 1
-            else:
-                rng = random.Random(f"{self.seed}/open/{index}")
-                env.process(self._session(index, arrival, rng))
-            index += 1
+            for arrival in cohort:
+                table.offered(index, env.now, arrival.tenant)
+                must_queue = slots.count >= slots.capacity
+                if must_queue and slots.queued >= queue_limit:
+                    table.resolve(index, session_state.DROPPED_QUEUE)
+                else:
+                    rng = random.Random(f"{self.seed}/open/{index}")
+                    env.process(self._session(index, arrival, rng))
+                index += 1
 
     def _session(self, index: int, arrival, rng: random.Random):
         env = self.server.env
         scale = self.server.config.time_scale
-        stats = self.stats
+        table = self.table
         queued_at = env.now
         request = self._slots.request()
         timeout = env.timeout(self.traffic.queue_timeout / scale)
         yield env.any_of([request, timeout])
         if not request.granted:
             self._slots.cancel(request)
-            stats.dropped_timeout += 1
-            stats.dropped_by_tenant[arrival.tenant] = \
-                stats.dropped_by_tenant.get(arrival.tenant, 0) + 1
+            table.resolve(index, session_state.DROPPED_TIMEOUT)
             return
-        stats.admitted += 1
-        stats.queue_waits.append(env.now - queued_at)
+        wait = env.now - queued_at
+        table.resolve(index, session_state.ADMITTED, wait=wait)
         try:
             query = self._query_for(arrival, rng)
             submitted = env.now
@@ -191,10 +279,9 @@ class OpenLoopGenerator:
                 compile_peak_bytes=outcome.compile_peak_bytes,
                 spilled=outcome.spilled,
             ))
-            if outcome.ok:
-                stats.succeeded += 1
-            else:
-                stats.failed += 1
+            table.resolve(index,
+                          session_state.SUCCEEDED if outcome.ok
+                          else session_state.FAILED, wait=wait)
         finally:
             self._slots.release(request)
 

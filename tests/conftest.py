@@ -12,9 +12,11 @@ DEC = ColumnType.DECIMAL
 DATE = ColumnType.DATE
 
 
-@pytest.fixture
-def env() -> Environment:
-    return Environment()
+@pytest.fixture(params=["legacy", "wheel"])
+def env(request) -> Environment:
+    """Every kernel-level test runs on both scheduler cores — the
+    unit-sized half of the differential harness."""
+    return Environment(kernel=request.param)
 
 
 def build_star_catalog() -> Catalog:

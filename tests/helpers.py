@@ -41,3 +41,33 @@ def canonical_text(path) -> str:
     """One artifact's canonical form as a comparable string."""
     with open(path, encoding="utf-8") as fh:
         return json.dumps(canonical_document(json.load(fh)))
+
+
+def shrunk_spec(spec: ScenarioSpec, clients: int = 2,
+                max_sessions: int = 16) -> ScenarioSpec:
+    """A test-sized copy of a registered scenario.
+
+    Client counts are clamped the way the catalogue sweep always has;
+    traffic-bearing scenarios additionally get their population capped
+    (the ``scale`` family registers 10^4-10^5-session runs, which only
+    the scale-smoke CI lane executes at full size).  Arrival-rate
+    params scale down with the population so the shrunken run keeps
+    the original's contention shape.
+    """
+    from dataclasses import replace
+
+    spec = spec.customized(preset="smoke", clients=clients) \
+        if spec.kind == "experiment" else spec
+    traffic = spec.traffic
+    if traffic is None or traffic.max_sessions is None \
+            or traffic.max_sessions <= max_sessions:
+        return spec
+    shrink = max_sessions / traffic.max_sessions
+    params = dict(traffic.params)
+    if "rate" in params:
+        params["rate"] = params["rate"] * shrink
+    return replace(spec, traffic=replace(
+        traffic,
+        params=params,
+        max_sessions=max_sessions,
+        queue_limit=min(traffic.queue_limit, 4 * max_sessions)))

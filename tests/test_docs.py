@@ -56,7 +56,7 @@ def repro_commands(path: Path):
 def test_docs_exist():
     for name in ("architecture.md", "scenarios.md", "sharding.md",
                  "cli.md", "executors.md", "operations.md",
-                 "results.md", "traffic.md"):
+                 "results.md", "traffic.md", "kernel.md"):
         assert (REPO / "docs" / name).is_file(), name
     assert DOC_FILES, "no documentation files found"
 

@@ -1,0 +1,111 @@
+"""The differential harness: the wheel kernel pinned to the legacy core.
+
+Every registered scenario family runs (at test-sized N) on both
+scheduler cores, through the inline executor and through a streamed
+remote-worker pool, and the canonical artifact bytes must match
+exactly — modulo the declared ``kernel`` stamp itself, which names the
+core and is the only byte the knob is allowed to change.
+
+This is the contract that lets the ``scale`` family default to the
+wheel: any ordering divergence between the cores shows up here as a
+different simulated number long before it could corrupt a figure.
+"""
+
+import json
+
+import pytest
+
+from helpers import shrunk_spec
+
+from repro.experiments.executors import make_executor
+from repro.experiments.shards import canonical_document
+from repro.scenarios import list_scenarios, scenario_families
+from repro.scenarios.facade import run_scenario, write_scenario_artifact
+from repro.sim import KERNEL_NAMES
+
+
+def representative_specs():
+    """One shrunken experiment spec per registered scenario family.
+
+    The first experiment-kind scenario of each family stands in for
+    the family; monitors/trace scenarios never touch the event queue,
+    so families with no experiment member (none today) would be
+    skipped.
+    """
+    chosen = []
+    for family in scenario_families():
+        for spec in list_scenarios(family=family):
+            if spec.kind == "experiment":
+                chosen.append(shrunk_spec(spec))
+                break
+    return chosen
+
+
+def strip_kernel_stamp(doc):
+    """Drop every declared ``kernel`` key from an artifact document.
+
+    The stamp is the knob's declaration, not a simulated number; after
+    removing it the two kernels' artifacts must be byte-identical.
+    """
+    if isinstance(doc, dict):
+        return {key: strip_kernel_stamp(value)
+                for key, value in doc.items() if key != "kernel"}
+    if isinstance(doc, list):
+        return [strip_kernel_stamp(item) for item in doc]
+    return doc
+
+
+def canonical_kernel_free(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    # the spec's version stamp tracks the kernel key (a wheel spec is
+    # a version-4 document, a legacy one version-2/3): normalize both
+    doc.get("spec", {}).pop("version", None)
+    return json.dumps(canonical_document(strip_kernel_stamp(doc)),
+                      sort_keys=True)
+
+
+def artifacts_for(spec, kernel, out_dir, executor=None):
+    result = run_scenario(spec.customized(kernel=kernel),
+                          executor=executor)
+    assert result.batch is not None and not result.batch.errors, \
+        f"{spec.scenario_id} [{kernel}]: {result.batch.errors}"
+    return write_scenario_artifact(str(out_dir), result)
+
+
+@pytest.mark.slow
+def test_kernels_agree_on_every_family_inline(tmp_path):
+    """Inline execution: per-family artifacts match across kernels."""
+    for spec in representative_specs():
+        paths = {}
+        for kernel in KERNEL_NAMES:
+            out = tmp_path / kernel
+            paths[kernel] = artifacts_for(spec, kernel, out)
+        reference = canonical_kernel_free(paths["legacy"])
+        for kernel in KERNEL_NAMES[1:]:
+            assert canonical_kernel_free(paths[kernel]) == reference, \
+                f"{spec.scenario_id}: {kernel} diverged from legacy"
+
+
+@pytest.mark.slow
+def test_kernels_agree_through_stream_executor(tmp_path):
+    """A streamed worker pool ships wheel-kernel specs whole.
+
+    ``CellTask.to_doc`` carries the full customized spec over the
+    wire, so a remote worker must rebuild the kernel choice from the
+    document; one representative family is enough to pin the wire
+    format, against the inline legacy run as the reference.
+    """
+    spec = representative_specs()[0]
+    reference = canonical_kernel_free(
+        artifacts_for(spec, "legacy", tmp_path / "ref"))
+    for kernel in KERNEL_NAMES:
+        executor = make_executor("stream", bind="127.0.0.1:0",
+                                 stream_workers=2)
+        try:
+            path = artifacts_for(spec, kernel, tmp_path / f"s-{kernel}",
+                                 executor=executor)
+        finally:
+            executor.close()
+        assert canonical_kernel_free(path) == reference, \
+            f"{spec.scenario_id}: stream [{kernel}] diverged"

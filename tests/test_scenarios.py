@@ -33,6 +33,7 @@ from repro.scenarios import (
     unregister_scenario,
 )
 from repro.scenarios.facade import evaluate_expectations
+from repro.traffic.spec import TrafficSpec
 from repro import cli
 
 
@@ -71,9 +72,14 @@ def test_spec_format_versioning():
     spec = tiny_spec()
     doc = spec.to_dict()
     # documents are stamped with the *minimal* version able to read
-    # them (only the traffic axis needs the current version 3) ...
+    # them (only a non-default kernel needs the current version 4;
+    # the traffic axis needs 3) ...
     assert doc["version"] == spec.document_version() == 2
-    assert SPEC_FORMAT_VERSION == 3
+    assert SPEC_FORMAT_VERSION == 4
+    assert tiny_spec(
+        traffic=TrafficSpec(arrivals="poisson", params={"rate": 0.01}),
+    ).document_version() == 3
+    assert tiny_spec(kernel="wheel").document_version() == 4
     # ... pre-versioning documents (no version key) still parse ...
     unversioned = dict(doc)
     del unversioned["version"]
@@ -456,12 +462,14 @@ def test_scenario_artifact_roundtrips(tmp_path):
 def test_every_registered_scenario_smoke_runs():
     """Every catalogue entry must at least run under the smoke preset.
 
-    Client counts are clamped so the sweep stays test-sized; the
-    registered counts run nightly at paper fidelity.
+    Client counts (and, for the scale family, traffic populations) are
+    clamped so the sweep stays test-sized; the registered counts run
+    nightly at paper fidelity and in the scale-smoke lane.
     """
+    from helpers import shrunk_spec
+
     for spec in list_scenarios():
-        runnable = spec.customized(preset="smoke", clients=2) \
-            if spec.kind == "experiment" else spec
+        runnable = shrunk_spec(spec)
         result = run_scenario(runnable)
         assert result.body, spec.scenario_id
         if result.batch is not None:

@@ -120,3 +120,146 @@ def test_peek_reports_next_event_time(env):
     assert env.peek() == float("inf")
     env.timeout(4)
     assert env.peek() == 4.0
+
+
+# -------------------------- sibling cancellation mid-trigger ----------
+def test_anyof_callback_failing_pending_sibling_is_absorbed(env):
+    """The winner's callback "cancels" the loser by failing it; the
+    condition is already triggered, so the failure must be defused
+    instead of escaping env.run() as an unhandled error."""
+    fast = env.timeout(1, value="fast")
+    slow = env.event()
+    cond = env.any_of([fast, slow])
+    cond.add_callback(lambda e: slow.fail(ValueError("lost the race")))
+    env.run()
+    assert cond.ok and fast in cond.value
+    assert slow.triggered and not slow._ok and slow._defused
+
+
+def test_anyof_both_siblings_fail_same_instant(env):
+    """Two children failing in one timestep: the first failure decides
+    the condition, the second is absorbed (defused), and the waiter
+    sees exactly the first exception."""
+    first, second = ValueError("first"), ValueError("second")
+    e1, e2 = env.event(), env.event()
+    cond = env.any_of([e1, e2])
+    e1.fail(first)
+    e2.fail(second)
+    caught = []
+
+    def waiter(env):
+        try:
+            yield cond
+        except ValueError as exc:
+            caught.append(exc)
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == [first]
+    assert e1._defused and e2._defused
+
+
+def test_allof_sibling_failed_by_callback_mid_trigger(env):
+    """A callback on one child fails its sibling while the child's own
+    trigger cascade is still running; the AllOf must fail with that
+    exception and defuse the sibling."""
+    e1 = env.timeout(1)
+    e2 = env.event()
+    boom = ValueError("sibling cancelled")
+    e1.add_callback(lambda e: e2.fail(boom))
+    cond = env.all_of([e1, e2])
+    caught = []
+
+    def waiter(env):
+        try:
+            yield cond
+        except ValueError as exc:
+            caught.append(exc)
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == [boom]
+    assert e2._defused
+    assert not cond.ok
+
+
+def test_anyof_late_sibling_success_is_ignored(env):
+    """A sibling that fires after the condition resolved neither
+    re-triggers the condition nor corrupts its collected values."""
+    fast = env.timeout(1, value="fast")
+    slow = env.timeout(5, value="slow")
+    cond = env.any_of([fast, slow])
+    collected = []
+    cond.add_callback(lambda e: collected.append(dict(e.value)))
+    env.run()
+    assert collected == [{fast: "fast"}]
+    assert slow.processed and slow.ok  # fired, harmlessly
+
+
+def test_resource_request_cancelled_from_anyof_timeout(env):
+    """The gateway pattern at the event layer: a waiter races a
+    request against a timeout and cancels the losing request from its
+    resumption — the cancelled request must never be granted, and the
+    slot must flow to the next queued waiter."""
+    from repro.sim import Resource
+
+    resource = Resource(env, capacity=1)
+    holder = resource.request()  # takes the only slot at t=0
+    granted = []
+
+    def impatient(env):
+        req = resource.request()
+        timeout = env.timeout(2)
+        yield env.any_of([req, timeout])
+        if not req.granted:
+            resource.cancel(req)
+            return
+        granted.append("impatient")  # pragma: no cover - must not run
+
+    def patient(env):
+        req = resource.request()
+        yield req
+        granted.append("patient")
+
+    def releaser(env):
+        yield env.timeout(5)
+        resource.release(holder)
+
+    env.process(impatient(env))
+    env.process(patient(env))
+    env.process(releaser(env))
+    env.run()
+    assert granted == ["patient"]
+    assert resource.queued == 0
+
+
+def test_trigger_from_pending_event_rejected(env):
+    """Copying the outcome of a still-pending event is a kernel bug;
+    it must raise cleanly and must NOT mark the pending event defused
+    (that would swallow its eventual real failure)."""
+    src, dst = env.event(), env.event()
+    with pytest.raises(SimulationError, match="pending"):
+        dst.trigger(src)
+    assert not src._defused
+    # the source's later genuine failure still surfaces
+    src.fail(ValueError("the real error"))
+    with pytest.raises(ValueError, match="the real error"):
+        env.run()
+
+
+def test_trigger_copies_failure_and_defuses(env):
+    src, dst = env.event(), env.event()
+    src.fail(ValueError("copied"))
+    caught = []
+
+    def waiter(env):
+        try:
+            yield dst
+        except ValueError as exc:
+            caught.append(exc)
+
+    env.process(waiter(env))
+    src.add_callback(dst.trigger)
+    env.run()
+    assert src._defused
+    assert len(caught) == 1 and str(caught[0]) == "copied"

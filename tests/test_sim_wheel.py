@@ -1,0 +1,212 @@
+"""Property tests pinning the event wheel to a reference heap model.
+
+The model is the legacy kernel's data structure verbatim: a binary
+heap of ``(when, eid)`` with lazy deletion.  Randomized workloads of
+schedule/cancel/reschedule/pop must agree with it operation by
+operation — the wheel's entire claim is "exactly the heap's order,
+cheaper", so any divergence is a bug by definition.
+
+Seeded stdlib ``random`` only: every trial is reproducible from the
+printed seed.
+"""
+
+import math
+import random
+from heapq import heappop, heappush
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.sim.wheel import EventWheel
+
+
+class HeapModel:
+    """The legacy core's queue as an executable specification."""
+
+    def __init__(self):
+        self._heap = []
+        self._pending = {}
+        self._payloads = {}
+
+    def push(self, when, eid, payload=None):
+        heappush(self._heap, (when, eid, payload))
+        self._pending[eid] = when
+        self._payloads[eid] = payload
+
+    def cancel(self, eid):
+        self._payloads.pop(eid, None)
+        return self._pending.pop(eid, None) is not None
+
+    def reschedule(self, eid, when):
+        if eid not in self._pending:
+            return False
+        payload = self._payloads[eid]
+        del self._pending[eid]
+        self.push(when, eid, payload)
+        return True
+
+    def _settle(self):
+        heap = self._heap
+        while heap and (heap[0][1] not in self._pending
+                        or self._pending[heap[0][1]] != heap[0][0]):
+            heappop(heap)
+
+    def peek(self):
+        self._settle()
+        return self._heap[0][0] if self._heap else math.inf
+
+    def pop(self):
+        self._settle()
+        when, eid, payload = heappop(self._heap)
+        del self._pending[eid]
+        return when, eid, payload
+
+    def __len__(self):
+        return len(self._pending)
+
+
+def random_trial(seed, ops=400):
+    """One randomized interleaving of every wheel operation."""
+    rng = random.Random(seed)
+    # vary the geometry so window jumps, bucket wrap-around and
+    # overflow refills all get exercised, not just the defaults
+    wheel = EventWheel(start=0.0,
+                       bucket_width=rng.choice((0.25, 0.5, 2.0)),
+                       slots=rng.choice((4, 16, 64)))
+    model = HeapModel()
+    eid = 0
+    clock = 0.0
+    live = []
+    for _ in range(ops):
+        action = rng.random()
+        if action < 0.45 or not live:
+            eid += 1
+            # mostly near-horizon timers, sometimes far-future ones
+            # (overflow), sometimes exact ties on a bucket boundary
+            delay = rng.choice((
+                rng.uniform(0.0, 5.0),
+                rng.uniform(0.0, 50.0),
+                rng.uniform(0.0, 5000.0),
+                float(rng.randrange(0, 8)),
+            ))
+            wheel.push(clock + delay, eid, payload=eid)
+            model.push(clock + delay, eid, payload=eid)
+            live.append(eid)
+        elif action < 0.60:
+            victim = live.pop(rng.randrange(len(live)))
+            assert wheel.cancel(victim) == model.cancel(victim)
+            assert not wheel.cancel(victim)
+        elif action < 0.70:
+            moved = rng.choice(live)
+            when = clock + rng.uniform(0.0, 500.0)
+            assert wheel.reschedule(moved, when) \
+                == model.reschedule(moved, when)
+        elif action < 0.85:
+            assert wheel.peek() == model.peek()
+        else:
+            assert len(wheel) == len(model)
+            if model.peek() is not math.inf and len(model):
+                got, want = wheel.pop(), model.pop()
+                assert got == want, f"seed={seed}: {got} != {want}"
+                clock = max(clock, got[0])
+                live.remove(got[1])
+    # full drain must agree to the last entry
+    while len(model):
+        got, want = wheel.pop(), model.pop()
+        assert got == want, f"seed={seed} drain: {got} != {want}"
+    assert wheel.peek() is math.inf or wheel.peek() == math.inf
+    with pytest.raises(IndexError):
+        wheel.pop()
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_wheel_matches_heap_model(seed):
+    random_trial(seed)
+
+
+def test_same_timestamp_pops_are_fifo():
+    """Equal deadlines pop in scheduling order — the tie-break the
+    closed-loop determinism contract depends on."""
+    wheel = EventWheel(bucket_width=0.5, slots=8)
+    order = list(range(1, 201))
+    for eid in order:
+        wheel.push(7.25, eid, payload=eid)
+    # interleave a second timestamp landing in the same bucket
+    for eid in range(201, 221):
+        wheel.push(7.4, eid, payload=eid)
+    popped = list(wheel.drain())
+    assert [when for when, _, _ in popped] == sorted(
+        [7.25] * 200 + [7.4] * 20)
+    assert [e for when, e, _ in popped if when == 7.25] == order
+    assert [e for when, e, _ in popped if when == 7.4] \
+        == list(range(201, 221))
+
+
+def test_reschedule_keeps_fifo_rank():
+    """Rescheduling onto an occupied timestamp keeps the entry's
+    original sequence rank, exactly as a legacy cancel+repush with a
+    fresh eid would NOT — the wheel preserves eid on purpose."""
+    wheel = EventWheel()
+    wheel.push(10.0, 1, "a")
+    wheel.push(10.0, 2, "b")
+    wheel.push(99.0, 3, "c")
+    assert wheel.reschedule(3, 10.0)
+    assert [(e, p) for _, e, p in wheel.drain()] \
+        == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_window_jump_over_an_idle_stretch():
+    """A far-future-only queue jumps the window instead of stepping
+    bucket by bucket (the open-loop duration timer case)."""
+    wheel = EventWheel(bucket_width=0.5, slots=4)  # 2 s span
+    wheel.push(10_000.0, 1, "far")
+    assert wheel.peek() == 10_000.0
+    assert wheel.pop() == (10_000.0, 1, "far")
+
+
+def test_cancelled_entries_die_everywhere():
+    """Lazy cancellation: ready-heap, bucket and overflow residents
+    all stay dead through refills and window advances."""
+    wheel = EventWheel(bucket_width=0.5, slots=4)
+    wheel.push(0.1, 1, "ready")
+    wheel.push(1.2, 2, "bucket")
+    wheel.push(500.0, 3, "overflow")
+    wheel.push(500.0, 4, "survivor")
+    for eid in (1, 2, 3):
+        assert wheel.cancel(eid)
+    assert len(wheel) == 1
+    assert wheel.pop() == (500.0, 4, "survivor")
+    assert not wheel
+
+
+def test_wheel_validates_geometry():
+    with pytest.raises(ValueError, match="bucket_width"):
+        EventWheel(bucket_width=0.0)
+    with pytest.raises(ValueError, match="slots"):
+        EventWheel(slots=1)
+
+
+def test_environment_selects_kernel():
+    for kernel in ("legacy", "wheel"):
+        env = Environment(kernel=kernel)
+        assert env.kernel == kernel
+        fired = []
+        for delay in (3.0, 1.0, 2.0, 1.0):
+            env.schedule(env.event(), delay)
+        env = Environment(kernel=kernel)
+        done = env.process(_ticker(env, fired))
+        env.run()
+        assert fired == [1.0, 2.0, 4.0]
+        assert done.value == 3
+    with pytest.raises(SimulationError, match="unknown kernel"):
+        Environment(kernel="sundial")
+
+
+def _ticker(env, fired):
+    count = 0
+    for delay in (1.0, 1.0, 2.0):
+        yield env.timeout(delay)
+        fired.append(env.now)
+        count += 1
+    return count
