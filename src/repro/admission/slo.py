@@ -1,0 +1,48 @@
+"""SLO evaluation: latency objectives over the ``open_loop`` facts.
+
+:func:`evaluate_slo` turns an :class:`~repro.admission.spec.SloSpec`
+plus a run's ``open_loop`` fact block into the flat ``slo`` fact
+block summaries carry.  Per target (key = the fact it reads, e.g.
+``queue_wait_p90`` or ``tenant.steady.queue_wait_p90``):
+
+* ``<key>.observed`` — the fact's value, paper seconds (omitted when
+  the run published no such fact — an absent tenant, say);
+* ``<key>.target``   — the objective, paper seconds;
+* ``<key>.ok``       — 1.0 iff observed <= target (a missing fact is
+  a violation: the objective could not be certified).
+
+Plus the aggregates ``ok`` (1.0 iff every target held) and
+``violations`` (count).  Every value is a deterministic function of
+(spec, seed): the facts flow into artifacts and the results warehouse
+as **pinned** ``slo.*`` metrics, usable in ``Expectation``s including
+cross-variant ``than_variant`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.admission.spec import SloSpec
+
+
+def evaluate_slo(spec: SloSpec,
+                 facts: Mapping[str, float]) -> Dict[str, float]:
+    """Evaluate every target against an ``open_loop`` fact block."""
+    out: Dict[str, float] = {}
+    violations = 0
+    for target in spec.targets:
+        key = target.key
+        out[f"{key}.target"] = float(target.max_value)
+        observed = facts.get(key)
+        if observed is None:
+            out[f"{key}.ok"] = 0.0
+            violations += 1
+            continue
+        out[f"{key}.observed"] = float(observed)
+        held = float(observed) <= float(target.max_value)
+        out[f"{key}.ok"] = 1.0 if held else 0.0
+        if not held:
+            violations += 1
+    out["ok"] = 1.0 if violations == 0 else 0.0
+    out["violations"] = float(violations)
+    return out

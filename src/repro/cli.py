@@ -18,7 +18,8 @@ Commands
                  ``trend`` / ``radar`` across runs
 ``traces``       open-loop trace tooling: ``validate`` / ``summarize``
                  a CSV/JSONL query log, ``synth`` one from an arrival
-                 process
+                 process, ``capture`` a replayable admission trace
+                 from a scenario run
 ``query``        compile + execute one ad-hoc query and print the report
 ``monitors``     print the memory-monitor ladder
 
@@ -62,6 +63,8 @@ Examples
     python -m repro results radar prev latest --db results.sqlite
     python -m repro traces validate examples/sample_trace.jsonl
     python -m repro traces synth --out burst.jsonl --arrivals flash_crowd
+    python -m repro traces capture fairness-noisy --out traces
+    python -m repro scenarios run burst-flash --capture-trace traces
     python -m repro scenarios run burst-flash --clients 4
     python -m repro query --workload mixed --seed 7
     python -m repro ablation gateways --clients 30
@@ -139,6 +142,10 @@ def _add_executor_args(parser: argparse.ArgumentParser,
                         help="embed the end-of-run DMV snapshot "
                              "(ServerViews.snapshot) in result "
                              "artifacts")
+    parser.add_argument("--capture-trace", default=None, metavar="DIR",
+                        help="write each cell's replayable JSONL "
+                             "admission trace (TRACE_*.jsonl) into "
+                             "this directory")
 
 
 def _add_queue_args(parser: argparse.ArgumentParser) -> None:
@@ -307,6 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     w_serve.add_argument("--snapshot", action="store_true",
                          help="embed the end-of-run DMV snapshot in "
                               "result artifacts")
+    w_serve.add_argument("--capture-trace", default=None, metavar="DIR",
+                         help="write each cell's replayable JSONL "
+                              "admission trace into this directory")
     _add_queue_args(w_serve)
     w_serve.add_argument("--out", default=None,
                          help="directory for BENCH_scenario_*.json "
@@ -458,6 +468,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="a .jsonl/.ndjson/.csv query log")
     _add_tail(t_summarize)
 
+    t_capture = traces_sub.add_parser(
+        "capture", help="run a registered scenario and write each "
+                        "cell's replayable JSONL admission trace")
+    t_capture.add_argument("id", help="registered scenario id")
+    t_capture.add_argument("--out", default="traces", metavar="DIR",
+                           help="directory for the TRACE_*.jsonl files")
+    t_capture.add_argument("--preset", default=None,
+                           choices=sorted(PRESETS),
+                           help="override the scenario's preset")
+    t_capture.add_argument("--seed", type=int, default=None,
+                           help="override the scenario's seed")
+    t_capture.add_argument("--clients", type=int, default=None,
+                           help="override the scenario's client count")
+
     t_synth = traces_sub.add_parser(
         "synth", help="synthesize a JSONL trace from a seeded arrival "
                       "process")
@@ -495,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------- scenarios
 def _run_specs(specs, workers: int = 1, out: Optional[str] = None,
                executor=None, snapshot: bool = False,
+               capture: Optional[str] = None,
                order: str = "spec", scheduler=None) -> int:
     """Run resolved specs; print each render; write artifacts.
 
@@ -521,8 +546,8 @@ def _run_specs(specs, workers: int = 1, out: Optional[str] = None,
             state["failed"] = True
 
     run_scenarios(specs, workers=workers, executor=executor,
-                  snapshot=snapshot, on_result=emit, order=order,
-                  scheduler=scheduler)
+                  snapshot=snapshot, capture=capture, on_result=emit,
+                  order=order, scheduler=scheduler)
     return 1 if state["failed"] else 0
 
 
@@ -602,7 +627,8 @@ def cmd_scenarios(args) -> int:
     executor = _wrap_journal(_executor_from_args(args), args)
     try:
         return _run_specs(specs, out=args.out, executor=executor,
-                          snapshot=args.snapshot, order=args.order,
+                          snapshot=args.snapshot,
+                          capture=args.capture_trace, order=args.order,
                           scheduler=_scheduler_from_args(args, executor))
     finally:
         executor.close()
@@ -672,7 +698,8 @@ def cmd_shards(args) -> int:
     executor = _wrap_journal(_executor_from_args(args), args)
     try:
         payload = run_shard(plan, index, executor=executor,
-                            snapshot=args.snapshot, order=args.order,
+                            snapshot=args.snapshot,
+                            capture=args.capture_trace, order=args.order,
                             scheduler=_scheduler_from_args(args, executor),
                             progress=lambda line: print(f"   {line}"))
     finally:
@@ -714,7 +741,8 @@ def cmd_workers(args) -> int:
               f"(join with: repro workers join "
               f"--connect {bound_host}:{bound_port})")
         return _run_specs(specs, out=args.out, executor=executor,
-                          snapshot=args.snapshot, order=args.order,
+                          snapshot=args.snapshot,
+                          capture=args.capture_trace, order=args.order,
                           scheduler=_scheduler_from_args(args, executor))
     finally:
         executor.close()
@@ -974,7 +1002,36 @@ def cmd_traces(args) -> int:
                 in summary["templates"].items()]
         if rows:
             print(render_table(("template", "events"), rows))
+        rows = [(tenant, counts["offered"], counts["admitted"],
+                 counts["dropped"])
+                for tenant, counts in summary["tenant_outcomes"].items()]
+        if rows:
+            # captured traces carry admission outcomes; synthetic and
+            # external query logs usually do not, so the table only
+            # appears when there is something to break down
+            print(render_table(
+                ("tenant", "offered", "admitted", "dropped"), rows))
         return 0
+
+    if args.traces_command == "capture":
+        import os
+
+        from repro.experiments.executors import tasks_for_specs
+        from repro.scenarios import get_scenario, run_scenario
+
+        spec = get_scenario(args.id).customized(
+            preset=args.preset, seed=args.seed, clients=args.clients)
+        result = run_scenario(spec, capture=args.out)
+        print(result.render())
+        written = [task.trace_path()
+                   for task in tasks_for_specs([spec], capture=args.out)
+                   if os.path.exists(task.trace_path())]
+        for path in written:
+            print(f"   trace -> {path}")
+        if not written:
+            print("   (no traces written: the scenario has no "
+                  "experiment cells)")
+        return 0 if result.ok else 1
 
     # synth
     process = make_arrival_process(args.arrivals,

@@ -43,7 +43,11 @@ from repro.experiments.runner import (
 #: traffic spec, so closed-loop artifacts are byte-identical.
 #: Second amendment under 4: runs on a non-default scheduler core add
 #: a ``kernel`` key to their config doc — again only when non-default,
-#: so legacy-kernel artifacts keep their exact bytes)
+#: so legacy-kernel artifacts keep their exact bytes.
+#: Third amendment under 4: runs with an admission policy and/or SLO
+#: objectives add ``admission``/``slo`` keys to their config doc and an
+#: ``slo`` fact block to their summary — all three appear only when the
+#: config carries them, so policy-free artifacts keep their exact bytes)
 ARTIFACT_SCHEMA = 4
 
 #: recordings kept per search profile in a shared pool
@@ -307,6 +311,10 @@ def summarize_result(result: ExperimentResult) -> dict:
         config_doc["traffic"] = config.traffic.to_dict()
     if config.kernel != "legacy":
         config_doc["kernel"] = config.kernel
+    if config.admission is not None:
+        config_doc["admission"] = config.admission.to_dict()
+    if config.slo is not None:
+        config_doc["slo"] = config.slo.to_dict()
     summary = {
         "config": config_doc,
         "completed": result.completed,
@@ -328,6 +336,9 @@ def summarize_result(result: ExperimentResult) -> dict:
         # deterministic simulated admission facts — pinned, unlike the
         # wall-clock fields above
         summary["open_loop"] = dict(sorted(result.open_loop.items()))
+    if result.slo is not None:
+        # SLO verdicts over the open-loop facts — pinned as well
+        summary["slo"] = dict(sorted(result.slo.items()))
     if result.snapshot is not None:
         summary["snapshot"] = result.snapshot
     return summary

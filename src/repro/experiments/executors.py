@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import abc
 import math
+import os
 import subprocess
 import sys
 import time
@@ -62,26 +63,42 @@ class CellTask:
     """One self-describing unit of work an executor can run anywhere.
 
     Carries the cell identity plus the full spec (so a remote worker
-    needs nothing but the task document) and the ``snapshot`` flag
-    (whether the run should capture an end-of-run DMV snapshot).
+    needs nothing but the task document), the ``snapshot`` flag
+    (whether the run should capture an end-of-run DMV snapshot) and
+    the optional ``capture`` directory (where the run writes its
+    replayable JSONL admission trace).
     """
 
     cell: "ShardCell"
     spec: "ScenarioSpec"
     snapshot: bool = False
+    capture: Optional[str] = None
 
     def key(self) -> str:
         """A batch-unique label: ``scenario/variant#seed``."""
         cell = self.cell
         return f"{cell.scenario_id}/{cell.variant}#{cell.seed}"
 
+    def trace_path(self) -> Optional[str]:
+        """Where this cell's admission trace goes (None = no capture)."""
+        if self.capture is None:
+            return None
+        cell = self.cell
+        scenario = cell.scenario_id.replace("/", "_")
+        return os.path.join(
+            self.capture,
+            f"TRACE_{scenario}_{cell.variant}_{cell.seed}.jsonl")
+
     def to_doc(self) -> dict:
         """The JSON wire form (shard-document shapes throughout)."""
-        return {
+        doc = {
             "cell": self.cell.as_doc(),
             "spec": self.spec.to_dict(),
             "snapshot": self.snapshot,
         }
+        if self.capture is not None:
+            doc["capture"] = self.capture
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "CellTask":
@@ -95,7 +112,8 @@ class CellTask:
                 f"got {doc!r}")
         return cls(cell=ShardCell.from_doc(doc["cell"]),
                    spec=ScenarioSpec.from_dict(doc["spec"]),
-                   snapshot=bool(doc.get("snapshot", False)))
+                   snapshot=bool(doc.get("snapshot", False)),
+                   capture=doc.get("capture"))
 
 
 @dataclass
@@ -144,7 +162,8 @@ class CellResult:
                    body=doc.get("body"))
 
 
-def tasks_for_specs(specs, snapshot: bool = False) -> List[CellTask]:
+def tasks_for_specs(specs, snapshot: bool = False,
+                    capture: Optional[str] = None) -> List[CellTask]:
     """Lower a scenario selection to cell tasks, in selection order.
 
     The same cell enumeration :class:`~repro.experiments.shards.
@@ -158,7 +177,7 @@ def tasks_for_specs(specs, snapshot: bool = False) -> List[CellTask]:
         raise ConfigurationError(
             f"duplicate scenario ids in selection: {ids}")
     return [CellTask(cell=ShardCell(spec.scenario_id, variant, spec.seed),
-                     spec=spec, snapshot=snapshot)
+                     spec=spec, snapshot=snapshot, capture=capture)
             for spec in specs for variant in spec.variant_names()]
 
 
@@ -191,7 +210,8 @@ def execute_cell(task: CellTask,
             raise ConfigurationError(
                 f"scenario {spec.scenario_id!r} has no variant "
                 f"{cell.variant!r}")
-        config = replace(job.config, capture_snapshot=task.snapshot)
+        config = replace(job.config, capture_snapshot=task.snapshot,
+                         capture_trace=task.trace_path())
         result = run_experiment(config, shared_searches=shared_searches)
     except Exception as exc:  # noqa: BLE001 - error accounting
         return CellResult(cell=cell,
@@ -326,7 +346,8 @@ def jobs_for_task(task: CellTask) -> List[ExperimentJob]:
     for job in jobs_for_scenario(task.spec):
         if job.name != cell.variant:
             continue
-        config = replace(job.config, capture_snapshot=task.snapshot)
+        config = replace(job.config, capture_snapshot=task.snapshot,
+                         capture_trace=task.trace_path())
         jobs.append(ExperimentJob(
             name=f"{cell.scenario_id}/{job.name}#{cell.seed}",
             config=config))

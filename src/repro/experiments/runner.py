@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.admission.spec import AdmissionSpec, SloSpec
 from repro.config import ServerConfig, paper_server_config
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
@@ -87,12 +88,23 @@ class ExperimentConfig:
     #: calendar-queue ``wheel``); both pop events in the identical
     #: order, so this trades wall clock only, never simulated numbers
     kernel: str = "legacy"
+    #: admission policy arbitrating the open-loop slots (``None`` =
+    #: FIFO, pinned byte-identical to the pre-policy behavior); only
+    #: meaningful with a ``traffic`` spec
+    admission: Optional[AdmissionSpec] = None
+    #: latency objectives evaluated against the ``open_loop`` facts
+    #: (only meaningful with a ``traffic`` spec)
+    slo: Optional[SloSpec] = None
     #: overrides applied to the ServerConfig after preset handling
     server_overrides: Optional[ServerConfig] = None
     #: capture a final :meth:`ServerViews.snapshot` with the result
     #: (execution metadata, not a simulation parameter: the flag never
     #: changes any simulated number)
     capture_snapshot: bool = False
+    #: path to write a replayable JSONL admission trace of this run
+    #: (execution metadata like ``capture_snapshot``: capturing never
+    #: changes any simulated number)
+    capture_trace: Optional[str] = None
 
     def build_server_config(self) -> ServerConfig:
         preset = get_preset(self.preset)
@@ -158,6 +170,10 @@ class ExperimentResult:
     #: open-loop admission facts (offered/admitted/drops/queue waits);
     #: only present for runs with a ``traffic`` spec
     open_loop: Optional[Dict[str, float]] = None
+    #: SLO evaluation facts (``<target>.observed/.target/.ok`` plus
+    #: ``ok``/``violations``); only present when the config declares
+    #: objectives over an open-loop run
+    slo: Optional[Dict[str, float]] = None
     #: end-of-run DMV snapshot (``ServerViews.snapshot()``), captured
     #: only when the config asked for one
     snapshot: Optional[Dict] = None
@@ -236,12 +252,14 @@ def run_experiment(config: ExperimentConfig,
         generator = OpenLoopGenerator(
             server, workload, traffic=config.traffic,
             duration=duration_sim, metrics=metrics, seed=config.seed,
-            clients=config.clients)
+            clients=config.clients, admission=config.admission,
+            capture=config.capture_trace is not None)
     else:
         generator = LoadGenerator(
             server, workload, clients=config.clients,
             duration=duration_sim, metrics=metrics, seed=config.seed,
-            think_time=config.think_time)
+            think_time=config.think_time,
+            capture=config.capture_trace is not None)
 
     started = time.time()
     # The simulation allocates millions of small, mostly refcounted
@@ -275,6 +293,11 @@ def run_experiment(config: ExperimentConfig,
 
         snapshot = ServerViews(server).snapshot()
 
+    if config.capture_trace is not None:
+        from repro.admission.capture import write_capture
+
+        write_capture(config.capture_trace, generator.captured_events())
+
     warm_sim = preset.warmup / scale
     series = [(t * scale, count)
               for t, count in metrics.throughput_series(
@@ -285,6 +308,13 @@ def run_experiment(config: ExperimentConfig,
     gateways = [(g.name, g.stats.acquires, g.stats.timeouts,
                  g.stats.mean_wait() * scale)
                 for g in server.governor.gateways]
+    open_loop = (generator.facts(scale)
+                 if config.traffic is not None else None)
+    slo = None
+    if config.slo is not None and open_loop is not None:
+        from repro.admission.slo import evaluate_slo
+
+        slo = evaluate_slo(config.slo, open_loop)
     return ExperimentResult(
         config=config,
         throughput=series,
@@ -300,7 +330,7 @@ def run_experiment(config: ExperimentConfig,
         wall_seconds=wall,
         search_replays=server.pipeline.search_replays,
         soft_denials=server.pipeline.soft_denials,
-        open_loop=(generator.facts(scale)
-                   if config.traffic is not None else None),
+        open_loop=open_loop,
+        slo=slo,
         snapshot=snapshot,
     )

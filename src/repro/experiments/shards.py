@@ -213,6 +213,7 @@ class ShardPlan:
 def run_shard(plan: ShardPlan, index: int, workers: int = 1,
               progress: Optional[Callable[[str], None]] = None,
               executor=None, snapshot: bool = False,
+              capture: Optional[str] = None,
               order: str = "spec", scheduler=None) -> dict:
     """Execute one shard of ``plan``; returns the shard document payload.
 
@@ -222,7 +223,10 @@ def run_shard(plan: ShardPlan, index: int, workers: int = 1,
     then re-group into per-scenario entries in selection order.
     ``order``/``scheduler`` reorder the owned queue by expected cost
     exactly as on :func:`~repro.scenarios.facade.run_scenarios` —
-    a scheduling decision only, never visible in the payload.  The
+    a scheduling decision only, never visible in the payload.
+    ``capture`` is a directory each owned cell writes its replayable
+    JSONL admission trace into (per-cell filenames, so shards of one
+    plan can share a directory without collisions).  The
     payload carries everything the merge needs: the owned cells, each
     touched scenario's spec, per-variant result summaries and errors.
     """
@@ -235,7 +239,7 @@ def run_shard(plan: ShardPlan, index: int, workers: int = 1,
         executor = make_executor(workers=workers)
     tasks = order_tasks(
         [CellTask(cell=cell, spec=plan.spec_for(cell.scenario_id),
-                  snapshot=snapshot)
+                  snapshot=snapshot, capture=capture)
          for cell in owned], order=order, scheduler=scheduler)
     try:
         cell_results = list(executor.submit(tasks, progress=progress))

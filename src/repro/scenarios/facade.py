@@ -60,6 +60,10 @@ def jobs_for_scenario(spec: ScenarioSpec,
                 workload_params=spec.workload_params,
                 traffic=spec.traffic,
                 kernel=spec.kernel,
+                admission=(variant.admission
+                           if variant.admission is not None
+                           else spec.admission),
+                slo=spec.slo,
                 clients=(variant.clients if variant.clients is not None
                          else spec.clients),
                 throttling=throttling,
@@ -188,6 +192,11 @@ def metrics_from_summary(summary: Dict) -> Dict[str, float]:
     # scenarios can put expectations on them
     for name, value in summary.get("open_loop", {}).items():
         metrics[f"openloop.{name}"] = float(value)
+    # SLO verdicts surface as `slo.<target>.observed/.target/.ok` plus
+    # the aggregate `slo.ok`/`slo.violations`, so expectations (and
+    # cross-variant checks) can reference objective attainment directly
+    for name, value in summary.get("slo", {}).items():
+        metrics[f"slo.{name}"] = float(value)
     return metrics
 
 
@@ -203,6 +212,7 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
     in another process or on another machine — stand in for live
     results when rendering figures and tables.
     """
+    from repro.admission.spec import AdmissionSpec, SloSpec
     from repro.traffic.spec import TrafficSpec
 
     config_doc = summary["config"]
@@ -213,6 +223,10 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
         traffic=(TrafficSpec.from_dict(config_doc["traffic"])
                  if "traffic" in config_doc else None),
         kernel=config_doc.get("kernel", "legacy"),
+        admission=(AdmissionSpec.from_dict(config_doc["admission"])
+                   if "admission" in config_doc else None),
+        slo=(SloSpec.from_dict(config_doc["slo"])
+             if "slo" in config_doc else None),
         clients=config_doc["clients"],
         throttling=config_doc["throttling"],
         preset=config_doc["preset"],
@@ -234,6 +248,7 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
         search_replays=summary["search_replays"],
         soft_denials=summary["soft_denials"],
         open_loop=summary.get("open_loop"),
+        slo=summary.get("slo"),
         snapshot=summary.get("snapshot"))
 
 
@@ -342,7 +357,8 @@ def _render_experiment(spec: ScenarioSpec, batch: BatchResult) -> str:
 # ------------------------------------------------------------- running
 def run_scenario(spec: ScenarioSpec, workers: int = 1,
                  progress: Optional[Callable[[str], None]] = None,
-                 executor=None, snapshot: bool = False) -> ScenarioResult:
+                 executor=None, snapshot: bool = False,
+                 capture: Optional[str] = None) -> ScenarioResult:
     """Run one scenario and evaluate its expectations.
 
     ``executor`` is any :class:`~repro.experiments.executors.
@@ -351,15 +367,19 @@ def run_scenario(spec: ScenarioSpec, workers: int = 1,
     pre-executor behaviour exactly.  A passed-in executor is not
     closed (the caller owns its lifecycle).  ``snapshot`` asks every
     experiment cell to capture an end-of-run DMV snapshot into its
-    result summary.
+    result summary.  ``capture`` is a directory: every experiment cell
+    writes a replayable JSONL admission trace there (execution
+    metadata — capturing never changes any simulated number).
     """
     return run_scenarios([spec], workers=workers, progress=progress,
-                         executor=executor, snapshot=snapshot)[0]
+                         executor=executor, snapshot=snapshot,
+                         capture=capture)[0]
 
 
 def run_scenarios(specs: List[ScenarioSpec], workers: int = 1,
                   progress: Optional[Callable[[str], None]] = None,
                   executor=None, snapshot: bool = False,
+                  capture: Optional[str] = None,
                   on_result: Optional[Callable[["ScenarioResult"], None]]
                   = None, order: str = "spec",
                   scheduler=None) -> List[ScenarioResult]:
@@ -389,7 +409,8 @@ def run_scenarios(specs: List[ScenarioSpec], workers: int = 1,
     owns_executor = executor is None
     if executor is None:
         executor = make_executor(workers=workers)
-    tasks = order_tasks(tasks_for_specs(specs, snapshot=snapshot),
+    tasks = order_tasks(tasks_for_specs(specs, snapshot=snapshot,
+                                        capture=capture),
                         order=order, scheduler=scheduler)
     outstanding = {spec.scenario_id: len(spec.variant_names())
                    for spec in specs}

@@ -18,12 +18,16 @@ Families
 ``scale``       FIG-3-style curves at 100x-1000x the paper population
                 on the calendar-queue ``wheel`` kernel, plus the
                 100 000-session flood the scale-smoke CI lane runs
+``fairness``    the burst-noisy tenant mix re-run under ``fifo`` vs
+                ``weighted_fair`` admission with an SLO on the victim
+                tenant's queue wait (the fairness-smoke CI lane)
 """
 
 from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+from repro.admission import AdmissionSpec, SloSpec, SloTarget
 from repro.scenarios.registry import register_scenario
 from repro.scenarios.spec import (
     ConfigOverrides,
@@ -366,6 +370,69 @@ def noisy_neighbor_scenario(clients: int = 12, preset: str = "smoke",
 
 for _builder in (flash_crowd_scenario, noisy_neighbor_scenario):
     register_scenario(_builder())
+
+
+# ------------------------------------------------ fairness (new family)
+def fairness_scenario(clients: int = 12, preset: str = "smoke",
+                      seed: int = 3,
+                      steady_weight: float = 4.0) -> ScenarioSpec:
+    """FAIR-NOISY: the noisy-neighbor mix under ``fifo`` vs
+    ``weighted_fair`` admission.
+
+    Identical offered load in both variants (pinned by a cross-variant
+    check); the weighted variant gives the steady tenant
+    ``steady_weight`` times the noisy tenant's slot share, and the
+    victim's queue-wait p90 must recover versus FIFO.
+    """
+    return ScenarioSpec(
+        scenario_id="fairness-noisy",
+        title="FAIR-NOISY: weighted-fair admission vs FIFO",
+        family="fairness",
+        workload="mixed",
+        workload_params={"tpch_fraction": 0.4},
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        traffic=TrafficSpec(
+            arrivals="tenant_mix",
+            params={"tenants": {
+                "steady": {"process": "poisson", "rate": 0.02},
+                "noisy": {"process": "flash_crowd", "base_rate": 0.004,
+                          "spike_rate": 0.5, "spike_at": 1300.0,
+                          "spike_duration": 600.0},
+            }},
+            max_sessions=8,
+            queue_limit=16,
+            queue_timeout=300.0),
+        slo=SloSpec(targets=(
+            SloTarget(metric="queue_wait", percentile="p90",
+                      max_value=30.0, tenant="steady"),
+        )),
+        variants=(
+            VariantSpec("fifo"),
+            VariantSpec("weighted_fair",
+                        admission=AdmissionSpec(
+                            policy="weighted_fair",
+                            weights={"steady": steady_weight})),
+        ),
+        expect=(
+            Expectation("openloop.offered", "==",
+                        variant="weighted_fair", than_variant="fifo"),
+            Expectation("openloop.tenant.steady.offered", ">", 0,
+                        variant="fifo"),
+            Expectation("slo.tenant.steady.queue_wait_p90.observed", "<",
+                        variant="weighted_fair", than_variant="fifo"),
+            Expectation("slo.violations", ">", 0, variant="fifo"),
+            Expectation("slo.ok", "==", 1, variant="weighted_fair"),
+        ),
+        description="Two tenants, one admission queue, two arbiters: "
+                    "under FIFO the noisy tenant's spike inflates the "
+                    "steady tenant's queue wait; weighted-fair shares "
+                    "hand the victim its slots back, and the SLO facts "
+                    "pin the recovery.")
+
+
+register_scenario(fairness_scenario())
 
 
 # --------------------------------------------------- scale (new family)

@@ -14,6 +14,7 @@ import operator
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional, Tuple
 
+from repro.admission.spec import AdmissionSpec, SloSpec
 from repro.config import ServerConfig, default_gateways, paper_server_config
 from repro.errors import ConfigurationError
 from repro.traffic.spec import TrafficSpec
@@ -26,13 +27,15 @@ from repro.traffic.spec import TrafficSpec
 #: History: 1 = the PR 2 format; 2 = cross-variant expectations
 #: (``than_variant``, ``value`` optional); 3 = the open-loop
 #: ``traffic`` axis; 4 = the ``kernel`` knob (simulation scheduler
-#: core selection).
+#: core selection); 5 = the ``admission`` / ``slo`` axes (policy-driven
+#: admission control and latency objectives).
 #: Documents are stamped with the *minimal* version able to read them
 #: (a spec without a traffic axis is still a version-2 document; one
-#: on the default legacy kernel needs at most version 3), so
+#: on the default legacy kernel needs at most version 3; one without
+#: admission policies or SLOs needs at most version 4), so
 #: pre-existing scenarios keep producing byte-identical artifacts and
 #: stay readable by older builds.
-SPEC_FORMAT_VERSION = 4
+SPEC_FORMAT_VERSION = 5
 
 #: comparison operators an Expectation may use
 EXPECTATION_OPS = {
@@ -234,6 +237,9 @@ class VariantSpec:
     clients: Optional[int] = None
     #: per-variant think time (None = the scenario's)
     think_time: Optional[float] = None
+    #: per-variant admission policy (None = the scenario's) — what lets
+    #: one scenario compare `fifo` vs `weighted_fair` across variants
+    admission: Optional[AdmissionSpec] = None
 
     def __post_init__(self):
         if not self.name or any(c.isspace() for c in self.name):
@@ -252,6 +258,8 @@ class VariantSpec:
             doc["clients"] = self.clients
         if self.think_time is not None:
             doc["think_time"] = self.think_time
+        if self.admission is not None:
+            doc["admission"] = self.admission.to_dict()
         return doc
 
     @classmethod
@@ -260,6 +268,9 @@ class VariantSpec:
         overrides = kwargs.get("overrides")
         if isinstance(overrides, dict):
             kwargs["overrides"] = ConfigOverrides.from_dict(overrides)
+        admission = kwargs.get("admission")
+        if isinstance(admission, dict):
+            kwargs["admission"] = AdmissionSpec.from_dict(admission)
         return cls(**kwargs)
 
 
@@ -289,6 +300,13 @@ class ScenarioSpec:
     #: ``wheel``); kernels pop events in the identical order, so this
     #: knob trades wall clock, never simulated numbers
     kernel: str = "legacy"
+    #: admission policy arbitrating the open-loop slots (``None`` =
+    #: FIFO, pinned byte-identical to the pre-policy behavior);
+    #: variants may override it
+    admission: Optional[AdmissionSpec] = None
+    #: latency objectives evaluated against the ``open_loop`` facts
+    #: into pinned ``slo.*`` metrics
+    slo: Optional[SloSpec] = None
     variants: Tuple[VariantSpec, ...] = (VariantSpec("run"),)
     expect: Tuple[Expectation, ...] = ()
     render: str = "table"
@@ -358,6 +376,14 @@ class ScenarioSpec:
                 f"scenario {self.scenario_id!r} is a {self.kind!r} "
                 f"scenario; the kernel knob only applies to "
                 f"experiment scenarios")
+        if self.traffic is None:
+            if self.admission is not None or self.slo is not None \
+                    or any(v.admission is not None
+                           for v in self.variants):
+                raise ConfigurationError(
+                    f"scenario {self.scenario_id!r} has no traffic "
+                    f"axis; admission policies and SLOs govern "
+                    f"open-loop admission and require one")
         if not self.variants:
             raise ConfigurationError(
                 f"scenario {self.scenario_id!r} needs at least one variant")
@@ -413,11 +439,15 @@ class ScenarioSpec:
     def document_version(self) -> int:
         """The minimal spec-format version able to read this spec.
 
-        Only a non-default kernel needs version 4 and only the traffic
-        axis needs version 3; everything else has been expressible
-        since version 2.  Minimal stamping is what keeps pre-existing
+        Only admission policies and SLOs need version 5, only a
+        non-default kernel needs version 4 and only the traffic axis
+        needs version 3; everything else has been expressible since
+        version 2.  Minimal stamping is what keeps pre-existing
         scenarios byte-identical in artifacts across format bumps.
         """
+        if self.admission is not None or self.slo is not None \
+                or any(v.admission is not None for v in self.variants):
+            return 5
         if self.kernel != "legacy":
             return 4
         if self.traffic is not None:
@@ -448,6 +478,10 @@ class ScenarioSpec:
             doc["traffic"] = self.traffic.to_dict()
         if self.kernel != "legacy":
             doc["kernel"] = self.kernel
+        if self.admission is not None:
+            doc["admission"] = self.admission.to_dict()
+        if self.slo is not None:
+            doc["slo"] = self.slo.to_dict()
         doc.update({
             "variants": [v.to_dict() for v in self.variants],
             "expect": [e.to_dict() for e in self.expect],
@@ -469,6 +503,12 @@ class ScenarioSpec:
         traffic = kwargs.get("traffic")
         if isinstance(traffic, dict):
             kwargs["traffic"] = TrafficSpec.from_dict(traffic)
+        admission = kwargs.get("admission")
+        if isinstance(admission, dict):
+            kwargs["admission"] = AdmissionSpec.from_dict(admission)
+        slo = kwargs.get("slo")
+        if isinstance(slo, dict):
+            kwargs["slo"] = SloSpec.from_dict(slo)
         variants = kwargs.get("variants")
         if variants is not None:
             kwargs["variants"] = tuple(

@@ -44,12 +44,13 @@ class SessionTable:
 
     Rows are keyed by the arrival index the open-loop generator already
     assigns.  Columns: ``queued_at`` (sim-seconds, ``d``), ``wait``
-    (admission wait, ``d``), ``outcome`` (code, ``b``) and ``tenant``
+    (admission wait, ``d``), ``finished`` (completion sim-time, ``d``,
+    valid on terminal rows), ``outcome`` (code, ``b``) and ``tenant``
     (interned tenant index, ``i``).
     """
 
-    __slots__ = ("capacity", "size", "queued_at", "wait", "outcome",
-                 "tenant", "_tenant_ids", "_tenant_names")
+    __slots__ = ("capacity", "size", "queued_at", "wait", "finished",
+                 "outcome", "tenant", "_tenant_ids", "_tenant_names")
 
     def __init__(self, capacity: int = 4096):
         capacity = max(1, int(capacity))
@@ -57,6 +58,7 @@ class SessionTable:
         self.size = 0
         self.queued_at = array("d", bytes(8 * capacity))
         self.wait = array("d", bytes(8 * capacity))
+        self.finished = array("d", bytes(8 * capacity))
         self.outcome = array("b", bytes(capacity))
         self.tenant = array("i", bytes(4 * capacity))
         self._tenant_ids: Dict[str, int] = {}
@@ -85,10 +87,12 @@ class SessionTable:
         self.outcome[index] = QUEUED
         self.tenant[index] = self.tenant_id(tenant)
 
-    def resolve(self, index: int, outcome: int, wait: float = 0.0) -> None:
+    def resolve(self, index: int, outcome: int, wait: float = 0.0,
+                finished: float = 0.0) -> None:
         """Advance row ``index`` to a terminal/admitted outcome."""
         self.outcome[index] = outcome
         self.wait[index] = wait
+        self.finished[index] = finished
 
     def _grow(self, needed: int) -> None:
         capacity = self.capacity
@@ -96,6 +100,7 @@ class SessionTable:
             capacity *= 2
         self.queued_at = _grown(self.queued_at, capacity)
         self.wait = _grown(self.wait, capacity)
+        self.finished = _grown(self.finished, capacity)
         self.outcome = _grown(self.outcome, capacity)
         self.tenant = _grown(self.tenant, capacity)
         self.capacity = capacity
@@ -120,6 +125,34 @@ class SessionTable:
         wait = self.wait
         return [wait[i] for i in range(self.size)
                 if outcome[i] in (ADMITTED, SUCCEEDED, FAILED)]
+
+    def admission_waits_by_tenant(self) -> Dict[str, List[float]]:
+        """Tenant name -> admitted-session waits, in arrival order."""
+        outcome = self.outcome
+        wait = self.wait
+        tenant = self.tenant
+        waits: Dict[str, List[float]] = {}
+        for i in range(self.size):
+            if outcome[i] in (ADMITTED, SUCCEEDED, FAILED):
+                name = self._tenant_names[tenant[i]]
+                waits.setdefault(name, []).append(wait[i])
+        return waits
+
+    def sojourns(self) -> List[float]:
+        """Queued-to-finished sim-seconds of every completed session
+        (terminal SUCCEEDED/FAILED rows), in arrival order."""
+        outcome = self.outcome
+        queued_at = self.queued_at
+        finished = self.finished
+        return [finished[i] - queued_at[i] for i in range(self.size)
+                if outcome[i] in (SUCCEEDED, FAILED)]
+
+    def outcome_of(self, index: int) -> int:
+        """The outcome code of row ``index``."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"session row {index} out of range "
+                             f"(table has {self.size})")
+        return self.outcome[index]
 
     def by_tenant(self, *outcomes: int) -> Dict[str, int]:
         """Tenant name -> count of rows with any of ``outcomes``."""

@@ -39,6 +39,7 @@ from repro.traffic.openloop import (
 from repro.traffic.spec import TrafficSpec
 from repro.traffic.trace import (
     TRACE_FIELDS,
+    TRACE_OUTCOMES,
     TraceEvent,
     rate_rescale,
     read_trace,
@@ -62,6 +63,7 @@ __all__ = [
     "ParetoArrivals",
     "PoissonArrivals",
     "TRACE_FIELDS",
+    "TRACE_OUTCOMES",
     "TenantMixArrivals",
     "TraceEvent",
     "TrafficSpec",

@@ -12,6 +12,14 @@ that waits longer than ``queue_timeout`` is **dropped on timeout**.
 Admitted sessions run exactly one query — an open-loop user does not
 retry; the next arrival is already on its way.
 
+Who wins a contended slot is delegated to a pluggable
+:mod:`admission policy <repro.admission.policies>`; the default
+(``fifo``, also used when no :class:`~repro.admission.spec.
+AdmissionSpec` is given) is pinned byte-identical to the original
+inline FIFO ``Resource`` grab.  With ``capture=True`` the generator
+additionally records every offered arrival for
+:mod:`replayable trace capture <repro.admission.capture>`.
+
 That makes overload *visible*: offered vs admitted load, drop counts
 and queue-wait percentiles are first-class facts
 (:meth:`OpenLoopGenerator.facts`), summarized into artifacts as the
@@ -25,10 +33,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.admission.capture import OUTCOME_NAMES, capture_event
+from repro.admission.policies import make_policy
+from repro.admission.spec import AdmissionSpec
 from repro.metrics.collector import MetricsCollector, QueryRecord
 from repro.server.server import DatabaseServer
 from repro.sim import state as session_state
-from repro.sim.resources import Resource
 from repro.sim.state import SessionTable
 from repro.traffic.spec import TrafficSpec
 from repro.workload.base import Workload, WorkloadQuery
@@ -154,7 +164,9 @@ class OpenLoopGenerator:
                  traffic: TrafficSpec, duration: float,
                  metrics: Optional[MetricsCollector] = None,
                  seed: int = 1, clients: int = 30,
-                 trace_base: Optional[str] = None):
+                 trace_base: Optional[str] = None,
+                 admission: Optional[AdmissionSpec] = None,
+                 capture: bool = False):
         self.server = server
         self.workload = workload
         self.traffic = traffic
@@ -162,6 +174,7 @@ class OpenLoopGenerator:
         self.metrics = metrics or server.metrics
         self.seed = seed
         self.trace_base = trace_base
+        self.admission = admission
         self.max_sessions = (traffic.max_sessions
                              if traffic.max_sessions is not None
                              else clients)
@@ -170,7 +183,12 @@ class OpenLoopGenerator:
         #: be one Python object per session
         self.table = SessionTable()
         self.stats = OpenLoopStatsView(self.table)
-        self._slots = Resource(server.env, capacity=self.max_sessions)
+        self._policy = make_policy(
+            admission, server.env, capacity=self.max_sessions,
+            queue_limit=traffic.queue_limit,
+            time_scale=server.config.time_scale)
+        #: offered arrivals on record for trace capture (index, arrival)
+        self._capture: Optional[list] = [] if capture else None
 
     # ------------------------------------------------------- lifecycle
     def _arrival_stream(self):
@@ -218,8 +236,7 @@ class OpenLoopGenerator:
         env = self.server.env
         scale = self.server.config.time_scale
         table = self.table
-        slots = self._slots
-        queue_limit = self.traffic.queue_limit
+        policy = self._policy
         index = 0
         stream = iter(self._arrival_stream())
         pending = next(stream, None)
@@ -236,8 +253,9 @@ class OpenLoopGenerator:
                 yield env.timeout(at - env.now)
             for arrival in cohort:
                 table.offered(index, env.now, arrival.tenant)
-                must_queue = slots.count >= slots.capacity
-                if must_queue and slots.queued >= queue_limit:
+                if self._capture is not None:
+                    self._capture.append((index, arrival))
+                if policy.would_drop(arrival.tenant):
                     table.resolve(index, session_state.DROPPED_QUEUE)
                 else:
                     rng = random.Random(f"{self.seed}/open/{index}")
@@ -249,12 +267,13 @@ class OpenLoopGenerator:
         scale = self.server.config.time_scale
         table = self.table
         queued_at = env.now
-        request = self._slots.request()
+        request = self._policy.request(arrival.tenant)
         timeout = env.timeout(self.traffic.queue_timeout / scale)
         yield env.any_of([request, timeout])
         if not request.granted:
-            self._slots.cancel(request)
-            table.resolve(index, session_state.DROPPED_TIMEOUT)
+            self._policy.cancel(request)
+            table.resolve(index, session_state.DROPPED_TIMEOUT,
+                          finished=env.now)
             return
         wait = env.now - queued_at
         table.resolve(index, session_state.ADMITTED, wait=wait)
@@ -281,9 +300,10 @@ class OpenLoopGenerator:
             ))
             table.resolve(index,
                           session_state.SUCCEEDED if outcome.ok
-                          else session_state.FAILED, wait=wait)
+                          else session_state.FAILED, wait=wait,
+                          finished=env.now)
         finally:
-            self._slots.release(request)
+            self._policy.release(request)
 
     def _query_for(self, arrival, rng: random.Random) -> WorkloadQuery:
         if arrival.template is not None:
@@ -310,6 +330,7 @@ class OpenLoopGenerator:
         """
         stats = self.stats
         waits = sorted(stats.queue_waits)
+        sojourns = sorted(self.table.sojourns())
         facts: Dict[str, float] = {
             "offered": float(stats.offered),
             "admitted": float(stats.admitted),
@@ -319,12 +340,36 @@ class OpenLoopGenerator:
             "max_sessions": float(self.max_sessions),
             "queue_wait_p50": _percentile(waits, 0.50) * scale,
             "queue_wait_p90": _percentile(waits, 0.90) * scale,
+            "queue_wait_p99": _percentile(waits, 0.99) * scale,
             "queue_wait_max": (waits[-1] if waits else 0.0) * scale,
+            "sojourn_p50": _percentile(sojourns, 0.50) * scale,
+            "sojourn_p90": _percentile(sojourns, 0.90) * scale,
+            "sojourn_p99": _percentile(sojourns, 0.99) * scale,
+            "sojourn_max": (sojourns[-1] if sojourns else 0.0) * scale,
         }
         if len(stats.offered_by_tenant) > 1:
+            tenant_waits = self.table.admission_waits_by_tenant()
             for tenant in sorted(stats.offered_by_tenant):
                 facts[f"tenant.{tenant}.offered"] = \
                     float(stats.offered_by_tenant[tenant])
                 facts[f"tenant.{tenant}.dropped"] = \
                     float(stats.dropped_by_tenant.get(tenant, 0))
+                per_tenant = sorted(tenant_waits.get(tenant, []))
+                for point, fraction in (("p50", 0.50), ("p90", 0.90),
+                                        ("p99", 0.99)):
+                    facts[f"tenant.{tenant}.queue_wait_{point}"] = \
+                        _percentile(per_tenant, fraction) * scale
         return facts
+
+    def captured_events(self):
+        """The capture-trace documents of every offered arrival, in
+        offered order, with admission outcomes merged from the ledger
+        (requires ``capture=True`` at construction)."""
+        if self._capture is None:
+            raise RuntimeError("trace capture was not enabled on this "
+                               "generator")
+        for index, arrival in self._capture:
+            outcome = OUTCOME_NAMES[self.table.outcome_of(index)]
+            yield capture_event(arrival.at, tenant=arrival.tenant,
+                                template=arrival.template,
+                                outcome=outcome)

@@ -35,8 +35,14 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.traffic.arrivals import Arrival, ArrivalProcess
 
-#: the complete field set a trace event may carry
-TRACE_FIELDS = ("t", "template", "tenant")
+#: the complete field set a trace event may carry; ``outcome`` is
+#: written by trace capture (what admission decided) and is pure
+#: documentation on replay — it never influences arrivals
+TRACE_FIELDS = ("t", "template", "tenant", "outcome")
+
+#: valid ``outcome`` strings (the capture writer's vocabulary)
+TRACE_OUTCOMES = ("queued", "admitted", "dropped_queue",
+                  "dropped_timeout", "succeeded", "failed")
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,7 @@ class TraceEvent:
     at: float
     template: Optional[str] = None
     tenant: str = "default"
+    outcome: Optional[str] = None
     line: int = 0
 
 
@@ -89,8 +96,13 @@ def _event_from_doc(doc: dict, path: str, line: int,
         raise _bad_line(path, line,
                         f"'tenant' must be a non-empty string, got "
                         f"{tenant!r}")
+    outcome = doc.get("outcome")
+    if outcome is not None and outcome not in TRACE_OUTCOMES:
+        raise _bad_line(path, line,
+                        f"unknown 'outcome' {outcome!r}; valid "
+                        f"outcomes: {', '.join(TRACE_OUTCOMES)}")
     return TraceEvent(at=at, template=template or None, tenant=tenant,
-                      line=line)
+                      outcome=outcome, line=line)
 
 
 def _read_jsonl(path: str, tolerate_tail: bool) -> Iterator[TraceEvent]:
@@ -214,7 +226,8 @@ def time_window(events: Iterable[TraceEvent], start: float,
             return  # sorted input: nothing later can match
         if event.at >= start:
             yield TraceEvent(at=event.at - start, template=event.template,
-                             tenant=event.tenant, line=event.line)
+                             tenant=event.tenant, outcome=event.outcome,
+                             line=event.line)
 
 
 def tenant_filter(events: Iterable[TraceEvent],
@@ -232,7 +245,8 @@ def rate_rescale(events: Iterable[TraceEvent],
                                  f"positive, got {factor!r}")
     for event in events:
         yield TraceEvent(at=event.at / factor, template=event.template,
-                         tenant=event.tenant, line=event.line)
+                         tenant=event.tenant, outcome=event.outcome,
+                         line=event.line)
 
 
 def template_remap(events: Iterable[TraceEvent],
@@ -242,7 +256,8 @@ def template_remap(events: Iterable[TraceEvent],
         template = mapping.get(event.template, event.template) \
             if event.template is not None else None
         yield TraceEvent(at=event.at, template=template,
-                         tenant=event.tenant, line=event.line)
+                         tenant=event.tenant, outcome=event.outcome,
+                         line=event.line)
 
 
 def trace_arrivals(spec, base: Optional[str] = None) -> Iterator[Arrival]:
@@ -281,6 +296,9 @@ def summarize_trace(path: str, tolerate_tail: bool = False) -> dict:
     first = last = None
     tenants: Dict[str, int] = {}
     templates: Dict[str, int] = {}
+    outcomes: Dict[str, Dict[str, int]] = {}
+    admitted = frozenset(("admitted", "succeeded", "failed"))
+    dropped = frozenset(("dropped_queue", "dropped_timeout"))
     for event in read_trace(path, tolerate_tail=tolerate_tail):
         events += 1
         if first is None:
@@ -290,6 +308,14 @@ def summarize_trace(path: str, tolerate_tail: bool = False) -> dict:
         if event.template is not None:
             templates[event.template] = \
                 templates.get(event.template, 0) + 1
+        if event.outcome is not None:
+            row = outcomes.setdefault(
+                event.tenant, {"offered": 0, "admitted": 0, "dropped": 0})
+            row["offered"] += 1
+            if event.outcome in admitted:
+                row["admitted"] += 1
+            elif event.outcome in dropped:
+                row["dropped"] += 1
     span = (last - first) if events else 0.0
     return {
         "events": events,
@@ -299,6 +325,9 @@ def summarize_trace(path: str, tolerate_tail: bool = False) -> dict:
         "mean_rate": (events / span) if span > 0 else None,
         "tenants": dict(sorted(tenants.items())),
         "templates": dict(sorted(templates.items())),
+        # per-tenant admission breakdown of captured traces; empty
+        # when no event carries an 'outcome'
+        "tenant_outcomes": dict(sorted(outcomes.items())),
     }
 
 

@@ -35,7 +35,8 @@ class LoadGenerator:
                  clients: int, duration: float,
                  metrics: Optional[MetricsCollector] = None,
                  seed: int = 1, think_time: float = 15.0,
-                 retry_delay: float = 10.0, max_retries: int = 10):
+                 retry_delay: float = 10.0, max_retries: int = 10,
+                 capture: bool = False):
         self.server = server
         self.workload = workload
         self.clients = clients
@@ -48,6 +49,9 @@ class LoadGenerator:
         self.stats: List[ClientStats] = [ClientStats()
                                          for _ in range(clients)]
         self._processes = []
+        #: submissions on record for trace capture (submission order,
+        #: which is sim-time order; outcomes patched in on completion)
+        self._capture: Optional[List[dict]] = [] if capture else None
 
     def start(self) -> None:
         """Spawn all client processes (call before ``env.run``)."""
@@ -79,9 +83,19 @@ class LoadGenerator:
             while True:
                 stats.submitted += 1
                 submitted = env.now
+                entry = None
+                if self._capture is not None:
+                    # record paper-second time at submission; the
+                    # outcome is patched in when the query resolves
+                    entry = {"t": submitted * scale,
+                             "template": query.template}
+                    self._capture.append(entry)
                 label = f"c{client_id}/{query.template}"
                 outcome = yield from self.server.run_query(
                     query.text, label)
+                if entry is not None:
+                    entry["outcome"] = ("succeeded" if outcome.ok
+                                        else "failed")
                 self.metrics.record_query(QueryRecord(
                     client=client_id,
                     template=query.template,
@@ -109,6 +123,21 @@ class LoadGenerator:
                 backoff = (self.retry_delay
                            * rng.uniform(0.5, 1.5)) / scale
                 yield env.timeout(backoff)
+
+    def captured_events(self):
+        """The capture-trace documents of every submission, in
+        submission order (requires ``capture=True`` at construction).
+
+        A closed-loop capture is a *what-if* replay source — feed it to
+        an open-loop ``traffic`` spec to re-offer the same schedule
+        without the think-time feedback loop; unlike an open-loop
+        capture it does not carry a byte-identity replay pin.
+        """
+        if self._capture is None:
+            raise RuntimeError("trace capture was not enabled on this "
+                               "generator")
+        for entry in self._capture:
+            yield dict(entry)
 
     # -- summaries ----------------------------------------------------------
     def totals(self) -> ClientStats:

@@ -56,7 +56,8 @@ def repro_commands(path: Path):
 def test_docs_exist():
     for name in ("architecture.md", "scenarios.md", "sharding.md",
                  "cli.md", "executors.md", "operations.md",
-                 "results.md", "traffic.md", "kernel.md"):
+                 "results.md", "traffic.md", "kernel.md",
+                 "admission.md"):
         assert (REPO / "docs" / name).is_file(), name
     assert DOC_FILES, "no documentation files found"
 
@@ -119,7 +120,7 @@ def test_cli_reference_covers_every_subcommand():
                     "results load", "results query", "results diff",
                     "results trend", "results radar",
                     "traces validate", "traces summarize",
-                    "traces synth"):
+                    "traces synth", "traces capture"):
         assert f"repro {command}" in text, f"cli.md misses {command!r}"
 
 

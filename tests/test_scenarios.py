@@ -32,6 +32,7 @@ from repro.scenarios import (
     scenario_ids,
     unregister_scenario,
 )
+from repro.admission import AdmissionSpec
 from repro.scenarios.facade import evaluate_expectations
 from repro.traffic.spec import TrafficSpec
 from repro import cli
@@ -72,14 +73,17 @@ def test_spec_format_versioning():
     spec = tiny_spec()
     doc = spec.to_dict()
     # documents are stamped with the *minimal* version able to read
-    # them (only a non-default kernel needs the current version 4;
-    # the traffic axis needs 3) ...
+    # them (only the admission/slo axes need the current version 5;
+    # a non-default kernel needs 4; the traffic axis needs 3) ...
     assert doc["version"] == spec.document_version() == 2
-    assert SPEC_FORMAT_VERSION == 4
-    assert tiny_spec(
-        traffic=TrafficSpec(arrivals="poisson", params={"rate": 0.01}),
-    ).document_version() == 3
+    assert SPEC_FORMAT_VERSION == 5
+    traffic = TrafficSpec(arrivals="poisson", params={"rate": 0.01})
+    assert tiny_spec(traffic=traffic).document_version() == 3
     assert tiny_spec(kernel="wheel").document_version() == 4
+    assert tiny_spec(
+        traffic=traffic,
+        admission=AdmissionSpec(policy="token_bucket", rate=1.0, burst=4.0),
+    ).document_version() == 5
     # ... pre-versioning documents (no version key) still parse ...
     unversioned = dict(doc)
     del unversioned["version"]
