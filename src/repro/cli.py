@@ -118,6 +118,12 @@ def _add_selection_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--kernel", default=None, choices=KERNEL_NAMES,
                         help="override each spec's scheduler core "
                              "(results are identical; wall clock is not)")
+    from repro.optimizer.spec import ENUMERATOR_NAMES
+    parser.add_argument("--optimizer", default=None,
+                        choices=ENUMERATOR_NAMES,
+                        help="override each spec's optimizer join "
+                             "enumerator (memo = staged search, ues = "
+                             "greedy upper-bound ordering)")
 
 
 def _add_executor_args(parser: argparse.ArgumentParser,
@@ -587,13 +593,18 @@ def _resolve_run_specs(args) -> list:
                 f"different specs; rename the --scenario file's "
                 f"scenario_id or drop one selection")
         unique[spec.scenario_id] = spec
-    # the kernel knob only exists on experiment scenarios; a selection
-    # mixing in monitors/trace scenarios keeps those on their default
+    # the kernel and optimizer knobs only exist on experiment
+    # scenarios; a selection mixing in monitors/trace scenarios keeps
+    # those on their default
     kernel = getattr(args, "kernel", None)
+    optimizer = getattr(args, "optimizer", None)
     return [spec.customized(preset=args.preset, seed=args.seed,
                             clients=args.clients,
                             kernel=(kernel if spec.kind == "experiment"
-                                    else None))
+                                    else None),
+                            optimizer=(optimizer
+                                       if spec.kind == "experiment"
+                                       else None))
             for spec in unique.values()]
 
 

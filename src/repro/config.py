@@ -9,10 +9,13 @@ SQL Server 2005 gateway ladder (4/CPU small, 1/CPU medium, 1 big).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.units import GiB, KiB, MiB
+
+if TYPE_CHECKING:  # import would cycle through catalog/storage at runtime
+    from repro.optimizer.spec import OptimizerSpec
 
 
 @dataclass(frozen=True)
@@ -195,6 +198,10 @@ class ServerConfig:
     #: multiplier=k preserves the full-effort compile-memory profile
     #: while doing 1/k of the Python work (used by the benchmarks)
     optimizer_memory_multiplier: float = 1.0
+    #: optimizer pipeline stage strategies; None selects the default
+    #: pipeline (basic/memo/cost/estimates), byte-identical to the
+    #: pre-pipeline optimizer
+    optimizer: Optional["OptimizerSpec"] = None
 
     def fast(self, factor: float = 4.0) -> "ServerConfig":
         """A cheaper-to-simulate copy with the same memory behaviour:

@@ -47,7 +47,10 @@ from repro.experiments.runner import (
 #: Third amendment under 4: runs with an admission policy and/or SLO
 #: objectives add ``admission``/``slo`` keys to their config doc and an
 #: ``slo`` fact block to their summary — all three appear only when the
-#: config carries them, so policy-free artifacts keep their exact bytes)
+#: config carries them, so policy-free artifacts keep their exact bytes.
+#: Fourth amendment under 4: runs with an explicit optimizer pipeline
+#: spec add an ``optimizer`` key to their config doc — only when the
+#: config carries one, so spec-free artifacts keep their exact bytes)
 ARTIFACT_SCHEMA = 4
 
 #: recordings kept per search profile in a shared pool
@@ -315,6 +318,8 @@ def summarize_result(result: ExperimentResult) -> dict:
         config_doc["admission"] = config.admission.to_dict()
     if config.slo is not None:
         config_doc["slo"] = config.slo.to_dict()
+    if config.optimizer is not None:
+        config_doc["optimizer"] = config.optimizer.to_dict()
     summary = {
         "config": config_doc,
         "completed": result.completed,

@@ -18,6 +18,7 @@ from repro.admission.spec import AdmissionSpec, SloSpec
 from repro.config import ServerConfig, paper_server_config
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
+from repro.optimizer.spec import OptimizerSpec
 from repro.server.server import DatabaseServer
 from repro.sim import Environment
 from repro.traffic.spec import TrafficSpec
@@ -95,6 +96,10 @@ class ExperimentConfig:
     #: latency objectives evaluated against the ``open_loop`` facts
     #: (only meaningful with a ``traffic`` spec)
     slo: Optional[SloSpec] = None
+    #: optimizer pipeline stage strategies (``None`` = the default
+    #: basic/memo/cost/estimates pipeline, pinned byte-identical to
+    #: the pre-pipeline optimizer)
+    optimizer: Optional[OptimizerSpec] = None
     #: overrides applied to the ServerConfig after preset handling
     server_overrides: Optional[ServerConfig] = None
     #: capture a final :meth:`ServerViews.snapshot` with the result
@@ -113,6 +118,8 @@ class ExperimentConfig:
         cfg = cfg.scaled(preset.time_scale)
         if preset.fast_factor != 1.0:
             cfg = cfg.fast(preset.fast_factor)
+        if self.optimizer is not None:
+            cfg = replace(cfg, optimizer=self.optimizer)
         return cfg
 
     def build_workload(self) -> Workload:
@@ -198,7 +205,9 @@ def search_profile(config: ExperimentConfig,
     recomputed identically: same catalog (workload name + parameters)
     and same optimizer/time configuration.  The best-plan flag matters
     too — recordings made without best-plan snapshots cannot serve a
-    best-plan server's fallback lookups.
+    best-plan server's fallback lookups.  The optimizer pipeline spec
+    is part of the key for the same reason: a ``ues`` search's steps
+    cannot stand in for a ``memo`` search's.
     """
     return (
         config.workload,
@@ -208,6 +217,7 @@ def search_profile(config: ExperimentConfig,
         server_config.time_scale,
         server_config.throttle.enabled and
         server_config.throttle.best_plan_so_far,
+        server_config.optimizer,
     )
 
 

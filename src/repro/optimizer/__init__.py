@@ -1,4 +1,4 @@
-"""A Cascades-style query optimizer.
+"""A Cascades-style query optimizer, staged as a pluggable pipeline.
 
 The optimizer is the paper's memory consumer of interest: it "considers
 a number of functionally equivalent alternatives … this entire process
@@ -9,8 +9,13 @@ every transformation-rule application, and the compilation pipeline
 charges that footprint to the task's memory account, which is what the
 throttling gateways observe.
 
-Search is *staged* (dynamic optimization, §5.1): a cheap heuristic plan
-first (always available as the best-plan-so-far fallback), then
+Search runs through an explicit four-stage
+:class:`~repro.optimizer.pipeline.OptimizerPipeline` (support
+pre-check → join enumeration → physical operator selection → plan
+parameterization) with interchangeable strategies per stage, selected
+by an :class:`~repro.optimizer.spec.OptimizerSpec`.  The default
+pipeline is the paper's dynamic optimization (§5.1): a cheap heuristic
+plan first (always available as the best-plan-so-far fallback), then
 exploration rounds whose budget scales with the estimated cost of the
 query.
 """
@@ -19,14 +24,24 @@ from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel
 from repro.optimizer.memo import Memo, Group, GroupExpression
 from repro.optimizer.optimizer import OptimizationResult, Optimizer, OptStep
+from repro.optimizer.pipeline import OptimizerPipeline
+from repro.optimizer.spec import (ENUMERATOR_NAMES, OptimizerSpec,
+                                  PARAMETERIZATION_NAMES, PRECHECK_NAMES,
+                                  SELECTION_NAMES)
 
 __all__ = [
     "CardinalityEstimator",
     "CostModel",
+    "ENUMERATOR_NAMES",
     "Group",
     "GroupExpression",
     "Memo",
     "OptimizationResult",
     "Optimizer",
+    "OptimizerPipeline",
+    "OptimizerSpec",
     "OptStep",
+    "PARAMETERIZATION_NAMES",
+    "PRECHECK_NAMES",
+    "SELECTION_NAMES",
 ]

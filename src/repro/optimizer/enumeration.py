@@ -1,0 +1,273 @@
+"""Join enumeration — pipeline stage 2.
+
+An enumerator owns the search loop: it seeds the memo, yields
+:class:`~repro.optimizer.optimizer.OptStep` increments so the
+compilation pipeline can charge memory and CPU between steps, and asks
+the selection stage for an implementation pass at each of its stage
+boundaries.
+
+``MemoEnumerator`` (``memo``) is the pre-pipeline staged search moved
+here verbatim: a syntactic stage-0 plan (always available as the
+best-plan-so-far fallback), then budgeted exploration rounds applying
+transformation rules.  ``UesEnumerator`` (``ues``) is a greedy
+upper-bound-driven reorder in the spirit of UES: it orders the join
+left-deep by minimizing upper-bound intermediate cardinalities, does a
+single implementation pass, and never explores — a fraction of the
+work units and memo bytes, at the price of trusting the bounds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.optimizer.memo import GroupExpression
+from repro.optimizer.selection import _split_join_keys
+from repro.plans import expressions as ex
+from repro.plans import logical as lg
+
+#: exploration units per steps() yield
+BATCH_UNITS = 50
+#: budget clamp (units)
+MIN_BUDGET = 30
+MAX_BUDGET = 3000
+#: fraction of the budget spent before the first re-costing pass
+STAGE_BOUNDARIES = (0.3, 1.0)
+
+
+class MemoEnumerator:
+    """Staged Cascades-style search under a cost-scaled work budget."""
+
+    __slots__ = ()
+
+    name = "memo"
+
+    def steps(self, task):
+        """The incremental search generator (see module docstring)."""
+        # -- stage 0: the syntactic (FROM-order) left-deep tree.  This
+        # is the optimizer's always-available fallback plan; exploration
+        # then reorders joins from it.
+        root_gid = task._insert(task.bound.root)
+        task._work_units += task.bound.table_count
+        yield task._make_step("stage0", task.bound.table_count)
+
+        task._implement(root_gid, stage=0)
+        task._work_units += task.memo.group_count
+        yield task._make_step("implement", task.memo.group_count)
+
+        assert task._best is not None
+        budget = self._budget(task, task._best.cost)
+
+        # -- exploration stages ----------------------------------------
+        frontier: deque = deque()
+        for gexpr in task.memo.expressions():
+            for rule in task.opt.rules:
+                frontier.append((gexpr, rule))
+        spent = 0
+        for boundary_index, boundary in enumerate(STAGE_BOUNDARIES,
+                                                  start=1):
+            limit = int(budget * boundary)
+            while frontier and spent < limit:
+                batch = min(BATCH_UNITS, limit - spent)
+                done = self._explore_batch(task, frontier, batch)
+                if done == 0:
+                    break
+                spent += done
+                task._work_units += done
+                yield task._make_step("explore", done)
+            task._implement(root_gid, stage=boundary_index)
+            task._work_units += task.memo.group_count
+            yield task._make_step("implement", task.memo.group_count)
+            if not frontier:
+                break
+
+    def _budget(self, task, estimated_cost: float) -> int:
+        """Dynamic optimization: effort scales with estimated cost."""
+        njoins = task.bound.join_count
+        if njoins == 0:
+            return MIN_BUDGET
+        units = int(estimated_cost * 8.0 * (1.0 + njoins / 4.0)
+                    * task.opt.effort_multiplier)
+        return max(MIN_BUDGET, min(MAX_BUDGET, units))
+
+    def _explore_batch(self, task, frontier: deque,
+                       max_units: int) -> int:
+        """Apply up to ``max_units`` (expression, rule) attempts."""
+        done = 0
+        while frontier and done < max_units:
+            gexpr, rule = frontier.popleft()
+            done += 1
+            if rule.name in gexpr.applied_rules:
+                continue
+            gexpr.applied_rules.add(rule.name)
+            if not rule.matches(gexpr, task._ctx):
+                continue
+            for tree in rule.apply(gexpr, task._ctx):
+                created: List[GroupExpression] = []
+                task._insert(tree, target_group=gexpr.group_id,
+                             created=created)
+                for new_gexpr in created:
+                    if rule.name == "join_commute":
+                        # a commuted join must not commute straight back
+                        new_gexpr.applied_rules.add("join_commute")
+                    for r in task.opt.rules:
+                        frontier.append((new_gexpr, r))
+        return done
+
+
+class UesEnumerator:
+    """Greedy left-deep ordering by upper-bound cardinalities.
+
+    No exploration rounds, no transformation rules: the join order is
+    fixed up front by repeatedly attaching the relation that minimizes
+    the upper-bound size of the next intermediate result (preferring
+    predicate-connected relations; a cross product only when nothing
+    connects).  One stage-0 insert, one implementation pass.
+
+    The enumerator also publishes ``task.cost_upper_bound``: the cost
+    of the *syntactic* plan priced with selectivity-free (worst-case)
+    cardinalities and full scan windows.  Because every cost function
+    is monotone in its row counts and the memo search always costs the
+    syntactic tree in its own stage 0, this bound can never fall below
+    the memo optimizer's final plan cost — the invariant the property
+    suite pins.
+    """
+
+    __slots__ = ()
+
+    name = "ues"
+
+    def steps(self, task):
+        task.cost_upper_bound = self._pessimistic(task,
+                                                  task.bound.root)[0]
+        root_gid = task._insert(self._reorder(task))
+        task._work_units += task.bound.table_count
+        yield task._make_step("stage0", task.bound.table_count)
+
+        task._implement(root_gid, stage=0)
+        task._work_units += task.memo.group_count
+        yield task._make_step("implement", task.memo.group_count)
+
+    # ------------------------------------------------------- reordering
+    def _reorder(self, task) -> lg.LogicalNode:
+        """The greedily reordered tree (the input tree when there is
+        nothing to reorder or the join block has an unexpected shape)."""
+        wrappers: List[lg.LogicalNode] = []
+        node = task.bound.root
+        while isinstance(node, (lg.LogicalProject, lg.LogicalSort,
+                                lg.LogicalAggregate, lg.LogicalFilter)):
+            wrappers.append(node)
+            node = node.children[0]
+        if not isinstance(node, lg.LogicalJoin):
+            return task.bound.root
+
+        # pool the join block: leaves in FROM order, conjuncts flat
+        leaves: List[lg.LogicalGet] = []
+        pool: List[ex.Expr] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, lg.LogicalJoin):
+                pool.extend(ex.conjuncts(current.condition))
+                stack.append(current.right)
+                stack.append(current.left)
+            elif isinstance(current, lg.LogicalGet):
+                leaves.append(current)
+            else:
+                # joins over non-scan inputs: keep the bound order
+                return task.bound.root
+        if len(leaves) < 2:
+            return task.bound.root
+
+        est = task.opt.estimator
+        bounds = {leaf.alias: max(1.0, est.table_rows(leaf.table))
+                  for leaf in leaves}
+        remaining = list(leaves)
+        first = min(remaining, key=lambda leaf: bounds[leaf.alias])
+        remaining.remove(first)
+        joined = {first.alias}
+        joined_bound = bounds[first.alias]
+        root: lg.LogicalNode = first
+        while remaining:
+            best_leaf = None
+            best_score = None
+            best_conjuncts: Tuple[ex.Expr, ...] = ()
+            for leaf in remaining:
+                applicable = tuple(
+                    p for p in pool
+                    if p.referenced_aliases() <= joined | {leaf.alias}
+                    and leaf.alias in p.referenced_aliases())
+                score = joined_bound * bounds[leaf.alias]
+                if applicable:
+                    score *= est.join_selectivity(
+                        ex.make_conjunction(applicable),
+                        task._alias_tables)
+                else:
+                    # disconnected: rank cross products last
+                    score *= 1e6
+                if best_score is None or score < best_score:
+                    best_leaf, best_score = leaf, score
+                    best_conjuncts = applicable
+            remaining.remove(best_leaf)
+            for p in best_conjuncts:
+                pool.remove(p)
+            condition = ex.make_conjunction(best_conjuncts)
+            root = lg.LogicalJoin(root, best_leaf, condition)
+            joined.add(best_leaf.alias)
+            joined_bound *= bounds[best_leaf.alias]
+            if best_conjuncts:
+                joined_bound *= est.join_selectivity(condition,
+                                                     task._alias_tables)
+            joined_bound = max(1.0, joined_bound)
+        if pool:  # defensively keep any conjunct the walk left behind
+            root = lg.LogicalFilter(root, ex.make_conjunction(pool))
+        for wrapper in reversed(wrappers):
+            root = wrapper.with_children((root,))
+        return root
+
+    # ------------------------------------------------------ upper bound
+    def _pessimistic(self, task, node: lg.LogicalNode):
+        """``(cost, rows, width, aliases)`` with worst-case rows.
+
+        Selectivities are taken as 1.0 and scans as full windows, so
+        each quantity dominates the estimate the memo search assigns
+        the same syntactic operator.
+        """
+        est = task.opt.estimator
+        cm = task.opt.cost_model
+        if isinstance(node, lg.LogicalGet):
+            rows = max(1.0, est.table_rows(node.table))
+            width = est.table_width(node.table)
+            table = task.opt.catalog.table(node.table)
+            cost = cm.scan_cost(table.nbytes, 1.0, rows)
+            return cost, rows, width, frozenset({node.alias})
+        if isinstance(node, lg.LogicalJoin):
+            lcost, lrows, lwidth, lal = self._pessimistic(task, node.left)
+            rcost, rrows, rwidth, ral = self._pessimistic(task, node.right)
+            rows = max(1.0, lrows * rrows)
+            build_keys, _, _ = _split_join_keys(node.condition, lal, ral)
+            if build_keys:
+                memory = cm.hash_join_memory(lrows * lwidth)
+                cost = (lcost + rcost
+                        + cm.hash_join_cost(lrows, rrows, rows)
+                        + cm.memory_pressure_cost(memory))
+            else:
+                cost = lcost + rcost + cm.nl_join_cost(lrows, rrows, rows)
+            return cost, rows, lwidth + rwidth, lal | ral
+        if isinstance(node, lg.LogicalFilter):
+            ccost, crows, cwidth, cal = self._pessimistic(task, node.child)
+            return ccost + cm.filter_cost(crows), crows, cwidth, cal
+        if isinstance(node, lg.LogicalAggregate):
+            ccost, crows, cwidth, cal = self._pessimistic(task, node.child)
+            width = 8.0 * (len(node.keys) + len(node.aggregates)) + 10.0
+            return (ccost + cm.hash_agg_cost(crows, crows),
+                    crows, width, cal)
+        if isinstance(node, lg.LogicalProject):
+            ccost, crows, cwidth, cal = self._pessimistic(task, node.child)
+            width = 8.0 * max(1, len(node.exprs))
+            return ccost + cm.project_cost(crows), crows, width, cal
+        if isinstance(node, lg.LogicalSort):
+            ccost, crows, cwidth, cal = self._pessimistic(task, node.child)
+            return ccost + cm.sort_cost(crows), crows, cwidth, cal
+        raise SimulationError(f"no upper bound for {node!r}")

@@ -8,44 +8,50 @@ the scheduler *between* optimizer steps.  That is the integration point
 the paper's gateways need: blocking keyed to the bytes the task has
 allocated so far, not to fixed pipeline stages.
 
-Search is staged, emulating SQL Server's dynamic optimization: a greedy
-heuristic join order seeds the memo (stage 0 — this plan is always
-available as the best-plan-so-far fallback); exploration rounds then
-apply transformation rules under a work budget that scales with the
-estimated cost of the query, with an implementation (costing) pass at
-each stage boundary.
+The search itself is delegated to an
+:class:`~repro.optimizer.pipeline.OptimizerPipeline` — support
+pre-check, join enumeration, physical operator selection, plan
+parameterization — selected by an
+:class:`~repro.optimizer.spec.OptimizerSpec`.  The default pipeline
+emulates SQL Server's dynamic optimization exactly as the pre-pipeline
+monolith did: a greedy heuristic join order seeds the memo (stage 0 —
+this plan is always available as the best-plan-so-far fallback);
+exploration rounds then apply transformation rules under a work budget
+that scales with the estimated cost of the query, with an
+implementation (costing) pass at each stage boundary.
+
+The task keeps the state every stage shares — the memo, derived
+statistics, per-task caches, the running best plan — while the stage
+strategies hold the swappable logic.
 """
 
 from __future__ import annotations
 
-import math
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.errors import SimulationError
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel
-from repro.optimizer.memo import Group, GroupExpression, GroupStats, Memo
+# budget knobs live with the memo enumerator now; re-exported for
+# backwards compatibility with pre-pipeline imports
+from repro.optimizer.enumeration import (BATCH_UNITS, MAX_BUDGET,  # noqa: F401
+                                         MIN_BUDGET, STAGE_BOUNDARIES)
+from repro.optimizer.memo import GroupExpression, GroupStats, Memo
+from repro.optimizer.pipeline import OptimizerPipeline
 from repro.optimizer.rules import DEFAULT_RULES, GroupRef, Rule, RuleContext
+from repro.optimizer.spec import OptimizerSpec
 from repro.plans import expressions as ex
 from repro.plans import logical as lg
 from repro.plans import physical as ph
 from repro.sql.binder import BoundQuery
-from repro.units import KiB, MiB
+from repro.units import KiB
 
 #: simulated bytes of parse/bind structures per referenced table
 BASE_BYTES_PER_TABLE = 192 * KiB
 #: CPU seconds per exploration work unit (on one paper-testbed CPU)
 CPU_PER_UNIT = 0.011
-#: exploration units per steps() yield
-BATCH_UNITS = 50
-#: budget clamp (units)
-MIN_BUDGET = 30
-MAX_BUDGET = 3000
-#: fraction of the budget spent before the first re-costing pass
-STAGE_BOUNDARIES = (0.3, 1.0)
 
 
 @dataclass
@@ -79,7 +85,8 @@ class Optimizer:
                  cost_model: Optional[CostModel] = None,
                  rules: Tuple[Rule, ...] = DEFAULT_RULES,
                  effort_multiplier: float = 1.0,
-                 memory_multiplier: float = 1.0):
+                 memory_multiplier: float = 1.0,
+                 spec: Optional[OptimizerSpec] = None):
         self.catalog = catalog
         self.estimator = CardinalityEstimator(catalog)
         self.cost_model = cost_model or CostModel()
@@ -89,6 +96,12 @@ class Optimizer:
         #: scales simulated memo bytes; paired with a reduced effort it
         #: preserves the full-effort memory profile at lower CPU cost
         self.memory_multiplier = memory_multiplier
+        #: the resolved stage strategies, shared by every task
+        self.pipeline = OptimizerPipeline(spec)
+
+    @property
+    def spec(self) -> OptimizerSpec:
+        return self.pipeline.spec
 
     def task(self, bound: BoundQuery) -> "OptimizationTask":
         """A fresh optimization task for one bound query."""
@@ -106,7 +119,14 @@ class Optimizer:
 
 
 class OptimizationTask:
-    """State of one in-flight query optimization."""
+    """State of one in-flight query optimization.
+
+    The task owns everything the pipeline stages share — memo, derived
+    statistics, caches, the running best plan — and exposes the small
+    protocol the stages drive it through: :meth:`_insert` /
+    :meth:`_make_step` for enumerators, :meth:`_implement` to hand a
+    costing pass to the selection strategy.
+    """
 
     def __init__(self, optimizer: Optimizer, bound: BoundQuery):
         self.opt = optimizer
@@ -119,6 +139,9 @@ class OptimizationTask:
         self._stage = 0
         self._best: Optional[OptimizationResult] = None
         self.result: Optional[OptimizationResult] = None
+        #: worst-case cost bound, published by bounding enumerators
+        #: (``ues``); None under the exhaustive memo search
+        self.cost_upper_bound: Optional[float] = None
         self._ctx = RuleContext(self.memo)
         self._alias_tables = dict(bound.aliases)
         #: join condition -> selectivity (conditions are immutable and
@@ -128,48 +151,16 @@ class OptimizationTask:
         self._join_split_cache: Dict[int, tuple] = {}
         #: id(gexpr) -> cached clustered-scan window (stable per gexpr)
         self._scan_window_cache: Dict[int, tuple] = {}
+        #: gid -> (cost, plan), reset by each implementation pass
+        self._plan_cache: Dict[int, Tuple[float, ph.PhysicalNode]] = {}
 
     # ------------------------------------------------------------------ API
     def steps(self) -> Iterator[OptStep]:
         """The incremental search generator (see module docstring)."""
-        # -- stage 0: the syntactic (FROM-order) left-deep tree.  This
-        # is the optimizer's always-available fallback plan; exploration
-        # then reorders joins from it.
-        root_gid = self._insert(self.bound.root)
-        self._work_units += self.bound.table_count
-        yield self._make_step("stage0", self.bound.table_count)
-
-        self._implement_pass(root_gid, stage=0)
-        self._work_units += self.memo.group_count
-        yield self._make_step("implement", self.memo.group_count)
-
-        assert self._best is not None
-        budget = self._budget(self._best.cost)
-
-        # -- exploration stages --------------------------------------------
-        frontier: deque = deque()
-        for gexpr in self.memo.expressions():
-            for rule in self.opt.rules:
-                frontier.append((gexpr, rule))
-        spent = 0
-        for boundary_index, boundary in enumerate(STAGE_BOUNDARIES, start=1):
-            limit = int(budget * boundary)
-            while frontier and spent < limit:
-                batch = min(BATCH_UNITS, limit - spent)
-                done = self._explore_batch(frontier, batch)
-                if done == 0:
-                    break
-                spent += done
-                self._work_units += done
-                yield self._make_step("explore", done)
-            self._implement_pass(root_gid, stage=boundary_index)
-            self._work_units += self.memo.group_count
-            yield self._make_step("implement", self.memo.group_count)
-            if not frontier:
-                break
-
-        assert self._best is not None
-        self.result = self._best
+        pipeline = self.opt.pipeline
+        pipeline.precheck.check(self.bound)
+        yield from pipeline.enumerator.steps(self)
+        self.result = pipeline.parameterization.finalize(self)
         return
 
     def has_best_plan(self) -> bool:
@@ -194,7 +185,7 @@ class OptimizationTask:
     def bytes_used(self) -> int:
         return self.memo.bytes_used
 
-    # ------------------------------------------------------- search internals
+    # ------------------------------------------------------ stage protocol
     def _make_step(self, phase: str, units: int) -> OptStep:
         delta = self.memo.bytes_used - self._charged_bytes
         self._charged_bytes = self.memo.bytes_used
@@ -204,37 +195,9 @@ class OptimizationTask:
         return OptStep(phase=phase, work_units=units,
                        cpu_seconds=cpu, alloc_bytes=max(0, delta))
 
-    def _budget(self, estimated_cost: float) -> int:
-        """Dynamic optimization: effort scales with estimated cost."""
-        njoins = self.bound.join_count
-        if njoins == 0:
-            return MIN_BUDGET
-        units = int(estimated_cost * 8.0 * (1.0 + njoins / 4.0)
-                    * self.opt.effort_multiplier)
-        return max(MIN_BUDGET, min(MAX_BUDGET, units))
-
-    def _explore_batch(self, frontier: deque, max_units: int) -> int:
-        """Apply up to ``max_units`` (expression, rule) attempts."""
-        done = 0
-        while frontier and done < max_units:
-            gexpr, rule = frontier.popleft()
-            done += 1
-            if rule.name in gexpr.applied_rules:
-                continue
-            gexpr.applied_rules.add(rule.name)
-            if not rule.matches(gexpr, self._ctx):
-                continue
-            for tree in rule.apply(gexpr, self._ctx):
-                created: List[GroupExpression] = []
-                self._insert(tree, target_group=gexpr.group_id,
-                             created=created)
-                for new_gexpr in created:
-                    if rule.name == "join_commute":
-                        # a commuted join must not commute straight back
-                        new_gexpr.applied_rules.add("join_commute")
-                    for r in self.opt.rules:
-                        frontier.append((new_gexpr, r))
-        return done
+    def _implement(self, root_gid: int, stage: int) -> None:
+        """Hand one implementation pass to the selection strategy."""
+        self.opt.pipeline.selection.implement(self, root_gid, stage)
 
     def _insert(self, tree: lg.LogicalNode,
                 target_group: Optional[int] = None,
@@ -312,266 +275,3 @@ class OptimizationTask:
             return GroupStats(rows=child.rows, width=child.width,
                               aliases=child.aliases)
         raise SimulationError(f"no stats derivation for {node!r}")
-
-    # ---------------------------------------------------------- implementation
-    def _implement_pass(self, root_gid: int, stage: int) -> None:
-        """(Re-)cost the memo bottom-up and record the best full plan."""
-        for group in self.memo.groups:
-            group.best_cost = None
-        self._plan_cache: Dict[int, Tuple[float, ph.PhysicalNode]] = {}
-        cost, plan = self._best_plan(root_gid, set())
-        if plan is None:
-            raise SimulationError("no physical plan produced")
-        result = OptimizationResult(
-            plan=plan, cost=cost, memo_bytes=self.memo.bytes_used,
-            work_units=self._work_units, stage=stage)
-        if self._best is None or cost <= self._best.cost:
-            self._best = result
-        else:
-            # keep the better previous plan but refresh bookkeeping
-            self._best = OptimizationResult(
-                plan=self._best.plan, cost=self._best.cost,
-                memo_bytes=self.memo.bytes_used,
-                work_units=self._work_units, stage=stage)
-
-    def _best_plan(self, gid: int,
-                   visiting: set
-                   ) -> Tuple[float, Optional[ph.PhysicalNode]]:
-        # ``visiting`` is one mutable set shared down the recursion
-        # (add/discard instead of building a frozenset per group)
-        cached = self._plan_cache.get(gid)
-        if cached is not None:
-            return cached
-        if gid in visiting:
-            return math.inf, None
-        group = self.memo.group(gid)
-        visiting.add(gid)
-        best_cost = math.inf
-        best_build = None
-        try:
-            for gexpr in group.expressions:
-                for cost, build in self._implement_gexpr(gexpr, visiting):
-                    if cost < best_cost:
-                        best_cost = cost
-                        best_build = build
-        finally:
-            visiting.discard(gid)
-        if best_build is None:
-            return math.inf, None
-        # candidates are costed as scalars; only the group winner is
-        # materialized into physical nodes (losers were ~2/3 of all
-        # node construction across the three implementation passes)
-        best = (best_cost, best_build())
-        self._plan_cache[gid] = best
-        group.best_cost = best_cost
-        return best
-
-    def _implement_gexpr(self, gexpr: GroupExpression,
-                         visiting: set) -> List[tuple]:
-        """Candidate implementations as ``(cost, build)`` pairs.
-
-        ``build`` is a zero-argument callable producing the physical
-        node; candidate order is stable so cost ties keep resolving to
-        the first candidate, exactly as when nodes were built eagerly.
-        """
-        node = gexpr.node
-        stats = self.memo.group(gexpr.group_id).stats
-        assert stats is not None
-        cm = self.opt.cost_model
-        est = self.opt.estimator
-        out: List[tuple] = []
-
-        if isinstance(node, lg.LogicalGet):
-            window = self._scan_window_cache.get(id(gexpr))
-            if window is None:
-                window = est.clustered_scan_window(
-                    node.table, node.predicate)
-                self._scan_window_cache[id(gexpr)] = window
-            offset, length = window
-            table = self.opt.catalog.table(node.table)
-            cost = cm.scan_cost(table.nbytes, length, stats.rows)
-
-            def build_scan(cost=cost, offset=offset, length=length):
-                scan = ph.TableScan(node.alias, node.table, node.predicate)
-                scan.scan_fraction = length
-                scan.scan_offset = offset
-                scan.estimates = ph.Estimates(
-                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
-                    cost=cost)
-                return scan
-
-            out.append((cost, build_scan))
-            return out
-
-        if isinstance(node, lg.LogicalJoin):
-            lcost, lplan = self._best_plan(gexpr.children[0], visiting)
-            rcost, rplan = self._best_plan(gexpr.children[1], visiting)
-            if lplan is None or rplan is None:
-                return out
-            lstats = self.memo.group(gexpr.children[0]).stats
-            rstats = self.memo.group(gexpr.children[1]).stats
-            split = self._join_split_cache.get(id(gexpr))
-            if split is None:
-                split = _split_join_keys(
-                    node.condition, lstats.aliases, rstats.aliases)
-                self._join_split_cache[id(gexpr)] = split
-            build_keys, probe_keys, residual = split
-            if build_keys:
-                # hash join, both build orders; the memory term biases
-                # the choice toward building on the smaller input
-                for build_stats, probe_stats, build_plan, probe_plan, \
-                        bkeys, pkeys in (
-                            (lstats, rstats, lplan, rplan,
-                             build_keys, probe_keys),
-                            (rstats, lstats, rplan, lplan,
-                             probe_keys, build_keys)):
-                    memory = cm.hash_join_memory(build_stats.bytes)
-                    cost = (lcost + rcost
-                            + cm.hash_join_cost(build_stats.rows,
-                                                probe_stats.rows,
-                                                stats.rows)
-                            + cm.memory_pressure_cost(memory))
-
-                    def build_hj(cost=cost, memory=memory,
-                                 build_plan=build_plan,
-                                 probe_plan=probe_plan,
-                                 bkeys=bkeys, pkeys=pkeys):
-                        hj = ph.HashJoin(build_plan, probe_plan,
-                                         bkeys, pkeys, residual)
-                        hj.estimates = ph.Estimates(
-                            rows=stats.rows, bytes=stats.bytes,
-                            memory=memory, cost=cost)
-                        return hj
-
-                    out.append((cost, build_hj))
-            else:
-                cost = (lcost + rcost + cm.nl_join_cost(
-                    lstats.rows, rstats.rows, stats.rows))
-
-                def build_nl(cost=cost):
-                    nl = ph.NestedLoopsJoin(lplan, rplan, node.condition)
-                    nl.estimates = ph.Estimates(
-                        rows=stats.rows, bytes=stats.bytes,
-                        memory=min(lstats.bytes, 64 * MiB), cost=cost)
-                    return nl
-
-                out.append((cost, build_nl))
-            return out
-
-        if isinstance(node, lg.LogicalFilter):
-            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
-            if cplan is None:
-                return out
-            cstats = self.memo.group(gexpr.children[0]).stats
-            cost = ccost + cm.filter_cost(cstats.rows)
-
-            def build_filter(cost=cost):
-                flt = ph.Filter(cplan, node.predicate)
-                flt.estimates = ph.Estimates(
-                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
-                    cost=cost)
-                return flt
-
-            out.append((cost, build_filter))
-            return out
-
-        if isinstance(node, lg.LogicalAggregate):
-            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
-            if cplan is None:
-                return out
-            cstats = self.memo.group(gexpr.children[0]).stats
-            # hash aggregate
-            cost = ccost + cm.hash_agg_cost(cstats.rows, stats.rows)
-
-            def build_hash_agg(cost=cost):
-                ha = ph.HashAggregate(cplan, node.keys, node.aggregates)
-                ha.estimates = ph.Estimates(
-                    rows=stats.rows, bytes=stats.bytes,
-                    memory=cm.hash_agg_memory(stats.rows, stats.width),
-                    cost=cost)
-                return ha
-
-            out.append((cost, build_hash_agg))
-            # sort + stream aggregate
-            if node.keys:
-                sort_cost = cm.sort_cost(cstats.rows)
-                total = ccost + sort_cost + cm.stream_agg_cost(cstats.rows)
-
-                def build_stream_agg(total=total, sort_cost=sort_cost):
-                    sort = ph.Sort(cplan, node.keys)
-                    sort.estimates = ph.Estimates(
-                        rows=cstats.rows, bytes=cstats.bytes,
-                        memory=cm.sort_memory(cstats.bytes),
-                        cost=ccost + sort_cost)
-                    sa = ph.StreamAggregate(sort, node.keys,
-                                            node.aggregates)
-                    sa.estimates = ph.Estimates(
-                        rows=stats.rows, bytes=stats.bytes, memory=0.0,
-                        cost=total)
-                    return sa
-
-                out.append((total, build_stream_agg))
-            return out
-
-        if isinstance(node, lg.LogicalProject):
-            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
-            if cplan is None:
-                return out
-            cstats = self.memo.group(gexpr.children[0]).stats
-            cost = ccost + cm.project_cost(cstats.rows)
-
-            def build_project(cost=cost):
-                proj = ph.Project(cplan, node.exprs)
-                proj.estimates = ph.Estimates(
-                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
-                    cost=cost)
-                return proj
-
-            out.append((cost, build_project))
-            return out
-
-        if isinstance(node, lg.LogicalSort):
-            ccost, cplan = self._best_plan(gexpr.children[0], visiting)
-            if cplan is None:
-                return out
-            cstats = self.memo.group(gexpr.children[0]).stats
-            cost = ccost + cm.sort_cost(cstats.rows)
-
-            def build_sort(cost=cost):
-                sort = ph.Sort(cplan, node.keys, node.descending)
-                sort.estimates = ph.Estimates(
-                    rows=stats.rows, bytes=stats.bytes,
-                    memory=cm.sort_memory(cstats.bytes), cost=cost)
-                return sort
-
-            out.append((cost, build_sort))
-            return out
-
-        raise SimulationError(f"no implementation for {node!r}")
-
-
-# -------------------------------------------------------------- tree helpers
-def _split_join_keys(condition: Optional[ex.Expr],
-                     left_aliases: FrozenSet[str],
-                     right_aliases: FrozenSet[str]):
-    """Separate equi-join keys (build/probe) from residual predicates."""
-    build_keys: List[ex.ColumnRef] = []
-    probe_keys: List[ex.ColumnRef] = []
-    residual: List[ex.Expr] = []
-    for conjunct in ex.conjuncts(condition):
-        if (isinstance(conjunct, ex.Comparison) and conjunct.is_equi_join):
-            lref = conjunct.left
-            rref = conjunct.right
-            assert isinstance(lref, ex.ColumnRef)
-            assert isinstance(rref, ex.ColumnRef)
-            if lref.alias in left_aliases and rref.alias in right_aliases:
-                build_keys.append(lref)
-                probe_keys.append(rref)
-                continue
-            if rref.alias in left_aliases and lref.alias in right_aliases:
-                build_keys.append(rref)
-                probe_keys.append(lref)
-                continue
-        residual.append(conjunct)
-    return (tuple(build_keys), tuple(probe_keys),
-            ex.make_conjunction(residual))

@@ -1,0 +1,341 @@
+"""Physical operator selection — pipeline stage 3.
+
+A selection strategy turns the memo's logical expressions into one
+best physical plan per implementation pass.  The enumerator decides
+*when* passes run (at its stage boundaries); the strategy decides
+*which* candidate implementation wins inside each pass.
+
+``CostBasedSelection`` (``cost``) is the pre-pipeline behaviour moved
+here verbatim: every candidate is costed as a scalar and only each
+group's winner is materialized into physical nodes (losers were ~2/3
+of all node construction).  ``HeuristicSelection`` (``heuristic``)
+skips the comparisons and fixes the classic choices — hash-build on
+the smaller input, hash aggregation — the way a syntax-driven
+optimizer would.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.optimizer.memo import GroupExpression
+from repro.plans import expressions as ex
+from repro.plans import logical as lg
+from repro.plans import physical as ph
+from repro.units import MiB
+
+
+class CostBasedSelection:
+    """Cost every candidate implementation, keep the cheapest."""
+
+    __slots__ = ()
+
+    name = "cost"
+
+    def implement(self, task, root_gid: int, stage: int) -> None:
+        """(Re-)cost the memo bottom-up and record the best full plan."""
+        from repro.optimizer.optimizer import OptimizationResult
+
+        for group in task.memo.groups:
+            group.best_cost = None
+        task._plan_cache = {}
+        cost, plan = self._best_plan(task, root_gid, set())
+        if plan is None:
+            raise SimulationError("no physical plan produced")
+        result = OptimizationResult(
+            plan=plan, cost=cost, memo_bytes=task.memo.bytes_used,
+            work_units=task._work_units, stage=stage)
+        if task._best is None or cost <= task._best.cost:
+            task._best = result
+        else:
+            # keep the better previous plan but refresh bookkeeping
+            task._best = OptimizationResult(
+                plan=task._best.plan, cost=task._best.cost,
+                memo_bytes=task.memo.bytes_used,
+                work_units=task._work_units, stage=stage)
+
+    def _best_plan(self, task, gid: int,
+                   visiting: set
+                   ) -> Tuple[float, Optional[ph.PhysicalNode]]:
+        # ``visiting`` is one mutable set shared down the recursion
+        # (add/discard instead of building a frozenset per group)
+        cached = task._plan_cache.get(gid)
+        if cached is not None:
+            return cached
+        if gid in visiting:
+            return math.inf, None
+        group = task.memo.group(gid)
+        visiting.add(gid)
+        best_cost = math.inf
+        best_build = None
+        try:
+            for gexpr in group.expressions:
+                for cost, build in self._implement_gexpr(task, gexpr,
+                                                         visiting):
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_build = build
+        finally:
+            visiting.discard(gid)
+        if best_build is None:
+            return math.inf, None
+        # candidates are costed as scalars; only the group winner is
+        # materialized into physical nodes (losers were ~2/3 of all
+        # node construction across the three implementation passes)
+        best = (best_cost, best_build())
+        task._plan_cache[gid] = best
+        group.best_cost = best_cost
+        return best
+
+    def _implement_gexpr(self, task, gexpr: GroupExpression,
+                         visiting: set) -> List[tuple]:
+        """Candidate implementations as ``(cost, build)`` pairs.
+
+        ``build`` is a zero-argument callable producing the physical
+        node; candidate order is stable so cost ties keep resolving to
+        the first candidate, exactly as when nodes were built eagerly.
+        """
+        node = gexpr.node
+        stats = task.memo.group(gexpr.group_id).stats
+        assert stats is not None
+        cm = task.opt.cost_model
+        est = task.opt.estimator
+        out: List[tuple] = []
+
+        if isinstance(node, lg.LogicalGet):
+            window = task._scan_window_cache.get(id(gexpr))
+            if window is None:
+                window = est.clustered_scan_window(
+                    node.table, node.predicate)
+                task._scan_window_cache[id(gexpr)] = window
+            offset, length = window
+            table = task.opt.catalog.table(node.table)
+            cost = cm.scan_cost(table.nbytes, length, stats.rows)
+
+            def build_scan(cost=cost, offset=offset, length=length):
+                scan = ph.TableScan(node.alias, node.table, node.predicate)
+                scan.scan_fraction = length
+                scan.scan_offset = offset
+                scan.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                    cost=cost)
+                return scan
+
+            out.append((cost, build_scan))
+            return out
+
+        if isinstance(node, lg.LogicalJoin):
+            lcost, lplan = self._best_plan(task, gexpr.children[0],
+                                           visiting)
+            rcost, rplan = self._best_plan(task, gexpr.children[1],
+                                           visiting)
+            if lplan is None or rplan is None:
+                return out
+            lstats = task.memo.group(gexpr.children[0]).stats
+            rstats = task.memo.group(gexpr.children[1]).stats
+            split = task._join_split_cache.get(id(gexpr))
+            if split is None:
+                split = _split_join_keys(
+                    node.condition, lstats.aliases, rstats.aliases)
+                task._join_split_cache[id(gexpr)] = split
+            build_keys, probe_keys, residual = split
+            if build_keys:
+                # hash join, both build orders; the memory term biases
+                # the choice toward building on the smaller input
+                for build_stats, probe_stats, build_plan, probe_plan, \
+                        bkeys, pkeys in self._hash_join_orders(
+                            lstats, rstats, lplan, rplan,
+                            build_keys, probe_keys):
+                    memory = cm.hash_join_memory(build_stats.bytes)
+                    cost = (lcost + rcost
+                            + cm.hash_join_cost(build_stats.rows,
+                                                probe_stats.rows,
+                                                stats.rows)
+                            + cm.memory_pressure_cost(memory))
+
+                    def build_hj(cost=cost, memory=memory,
+                                 build_plan=build_plan,
+                                 probe_plan=probe_plan,
+                                 bkeys=bkeys, pkeys=pkeys):
+                        hj = ph.HashJoin(build_plan, probe_plan,
+                                         bkeys, pkeys, residual)
+                        hj.estimates = ph.Estimates(
+                            rows=stats.rows, bytes=stats.bytes,
+                            memory=memory, cost=cost)
+                        return hj
+
+                    out.append((cost, build_hj))
+            else:
+                cost = (lcost + rcost + cm.nl_join_cost(
+                    lstats.rows, rstats.rows, stats.rows))
+
+                def build_nl(cost=cost):
+                    nl = ph.NestedLoopsJoin(lplan, rplan, node.condition)
+                    nl.estimates = ph.Estimates(
+                        rows=stats.rows, bytes=stats.bytes,
+                        memory=min(lstats.bytes, 64 * MiB), cost=cost)
+                    return nl
+
+                out.append((cost, build_nl))
+            return out
+
+        if isinstance(node, lg.LogicalFilter):
+            ccost, cplan = self._best_plan(task, gexpr.children[0],
+                                           visiting)
+            if cplan is None:
+                return out
+            cstats = task.memo.group(gexpr.children[0]).stats
+            cost = ccost + cm.filter_cost(cstats.rows)
+
+            def build_filter(cost=cost):
+                flt = ph.Filter(cplan, node.predicate)
+                flt.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                    cost=cost)
+                return flt
+
+            out.append((cost, build_filter))
+            return out
+
+        if isinstance(node, lg.LogicalAggregate):
+            ccost, cplan = self._best_plan(task, gexpr.children[0],
+                                           visiting)
+            if cplan is None:
+                return out
+            cstats = task.memo.group(gexpr.children[0]).stats
+            # hash aggregate
+            cost = ccost + cm.hash_agg_cost(cstats.rows, stats.rows)
+
+            def build_hash_agg(cost=cost):
+                ha = ph.HashAggregate(cplan, node.keys, node.aggregates)
+                ha.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes,
+                    memory=cm.hash_agg_memory(stats.rows, stats.width),
+                    cost=cost)
+                return ha
+
+            out.append((cost, build_hash_agg))
+            # sort + stream aggregate
+            if node.keys and self._consider_stream_aggregate():
+                sort_cost = cm.sort_cost(cstats.rows)
+                total = ccost + sort_cost + cm.stream_agg_cost(cstats.rows)
+
+                def build_stream_agg(total=total, sort_cost=sort_cost):
+                    sort = ph.Sort(cplan, node.keys)
+                    sort.estimates = ph.Estimates(
+                        rows=cstats.rows, bytes=cstats.bytes,
+                        memory=cm.sort_memory(cstats.bytes),
+                        cost=ccost + sort_cost)
+                    sa = ph.StreamAggregate(sort, node.keys,
+                                            node.aggregates)
+                    sa.estimates = ph.Estimates(
+                        rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                        cost=total)
+                    return sa
+
+                out.append((total, build_stream_agg))
+            return out
+
+        if isinstance(node, lg.LogicalProject):
+            ccost, cplan = self._best_plan(task, gexpr.children[0],
+                                           visiting)
+            if cplan is None:
+                return out
+            cstats = task.memo.group(gexpr.children[0]).stats
+            cost = ccost + cm.project_cost(cstats.rows)
+
+            def build_project(cost=cost):
+                proj = ph.Project(cplan, node.exprs)
+                proj.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes, memory=0.0,
+                    cost=cost)
+                return proj
+
+            out.append((cost, build_project))
+            return out
+
+        if isinstance(node, lg.LogicalSort):
+            ccost, cplan = self._best_plan(task, gexpr.children[0],
+                                           visiting)
+            if cplan is None:
+                return out
+            cstats = task.memo.group(gexpr.children[0]).stats
+            cost = ccost + cm.sort_cost(cstats.rows)
+
+            def build_sort(cost=cost):
+                sort = ph.Sort(cplan, node.keys, node.descending)
+                sort.estimates = ph.Estimates(
+                    rows=stats.rows, bytes=stats.bytes,
+                    memory=cm.sort_memory(cstats.bytes), cost=cost)
+                return sort
+
+            out.append((cost, build_sort))
+            return out
+
+        raise SimulationError(f"no implementation for {node!r}")
+
+    # --------------------------------------------------- strategy points
+    def _hash_join_orders(self, lstats, rstats, lplan, rplan,
+                          build_keys, probe_keys):
+        """Which build orders to cost: cost-based tries both."""
+        return ((lstats, rstats, lplan, rplan, build_keys, probe_keys),
+                (rstats, lstats, rplan, lplan, probe_keys, build_keys))
+
+    def _consider_stream_aggregate(self) -> bool:
+        """Whether sort+stream competes with the hash aggregate."""
+        return True
+
+
+class HeuristicSelection(CostBasedSelection):
+    """Fix the classic physical choices without comparing candidates.
+
+    Hash joins always build on the smaller (fewer estimated bytes)
+    input and aggregation is always hash-based — one candidate per
+    expression, so implementation passes cost less and never flip a
+    plan on a marginal estimate.  The cost model still prices the one
+    chosen candidate: estimates and memory grants stay meaningful.
+    """
+
+    __slots__ = ()
+
+    name = "heuristic"
+
+    def _hash_join_orders(self, lstats, rstats, lplan, rplan,
+                          build_keys, probe_keys):
+        if lstats.bytes <= rstats.bytes:
+            return ((lstats, rstats, lplan, rplan,
+                     build_keys, probe_keys),)
+        return ((rstats, lstats, rplan, lplan,
+                 probe_keys, build_keys),)
+
+    def _consider_stream_aggregate(self) -> bool:
+        return False
+
+
+# -------------------------------------------------------------- tree helpers
+def _split_join_keys(condition: Optional[ex.Expr],
+                     left_aliases: FrozenSet[str],
+                     right_aliases: FrozenSet[str]):
+    """Separate equi-join keys (build/probe) from residual predicates."""
+    build_keys: List[ex.ColumnRef] = []
+    probe_keys: List[ex.ColumnRef] = []
+    residual: List[ex.Expr] = []
+    for conjunct in ex.conjuncts(condition):
+        if (isinstance(conjunct, ex.Comparison) and conjunct.is_equi_join):
+            lref = conjunct.left
+            rref = conjunct.right
+            assert isinstance(lref, ex.ColumnRef)
+            assert isinstance(rref, ex.ColumnRef)
+            if lref.alias in left_aliases and rref.alias in right_aliases:
+                build_keys.append(lref)
+                probe_keys.append(rref)
+                continue
+            if rref.alias in left_aliases and lref.alias in right_aliases:
+                build_keys.append(rref)
+                probe_keys.append(lref)
+                continue
+        residual.append(conjunct)
+    return (tuple(build_keys), tuple(probe_keys),
+            ex.make_conjunction(residual))

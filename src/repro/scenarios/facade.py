@@ -64,6 +64,9 @@ def jobs_for_scenario(spec: ScenarioSpec,
                            if variant.admission is not None
                            else spec.admission),
                 slo=spec.slo,
+                optimizer=(variant.optimizer
+                           if variant.optimizer is not None
+                           else spec.optimizer),
                 clients=(variant.clients if variant.clients is not None
                          else spec.clients),
                 throttling=throttling,
@@ -213,6 +216,7 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
     results when rendering figures and tables.
     """
     from repro.admission.spec import AdmissionSpec, SloSpec
+    from repro.optimizer.spec import OptimizerSpec
     from repro.traffic.spec import TrafficSpec
 
     config_doc = summary["config"]
@@ -227,6 +231,8 @@ def result_from_summary(summary: Dict) -> ExperimentResult:
                    if "admission" in config_doc else None),
         slo=(SloSpec.from_dict(config_doc["slo"])
              if "slo" in config_doc else None),
+        optimizer=(OptimizerSpec.from_dict(config_doc["optimizer"])
+                   if "optimizer" in config_doc else None),
         clients=config_doc["clients"],
         throttling=config_doc["throttling"],
         preset=config_doc["preset"],

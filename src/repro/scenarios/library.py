@@ -21,6 +21,9 @@ Families
 ``fairness``    the burst-noisy tenant mix re-run under ``fifo`` vs
                 ``weighted_fair`` admission with an SLO on the victim
                 tenant's queue wait (the fairness-smoke CI lane)
+``optimizer``   the memory-pressure workload re-run under the staged
+                ``memo`` enumerator vs the greedy ``ues`` upper-bound
+                enumerator (the optimizer-smoke CI lane)
 """
 
 from __future__ import annotations
@@ -433,6 +436,54 @@ def fairness_scenario(clients: int = 12, preset: str = "smoke",
 
 
 register_scenario(fairness_scenario())
+
+
+# ----------------------------------------------- optimizer (new family)
+def optimizer_scenario(clients: int = 24, preset: str = "smoke",
+                       seed: int = 3) -> ScenarioSpec:
+    """OPT-ENUM: the memory-pressure workload under both enumerators.
+
+    Both variants run the sales workload against a quartered (1 GiB)
+    memory budget — the regime where compilation memory is the
+    contended resource and the enumerator's memo footprint matters.
+    The ``memo`` variant carries an *explicit* default
+    :class:`~repro.optimizer.spec.OptimizerSpec`, so the artifact is
+    stamped with the optimizer axis while the simulated behaviour
+    stays byte-identical to an optimizer-free run (the optimizer-smoke
+    CI lane asserts exactly that); the ``ues`` variant swaps in the
+    greedy upper-bound enumerator, which skips the staged search and
+    must therefore never compile slower on average.
+    """
+    from repro.optimizer.spec import OptimizerSpec
+    return ScenarioSpec(
+        scenario_id="opt-enum",
+        title="OPT-ENUM: memo vs ues enumeration under memory pressure",
+        family="optimizer",
+        workload="sales",
+        clients=clients,
+        preset=preset,
+        seed=seed,
+        variants=(
+            VariantSpec("memo_1g",
+                        ConfigOverrides(physical_memory=1 * GiB),
+                        optimizer=OptimizerSpec()),
+            VariantSpec("ues_1g",
+                        ConfigOverrides(physical_memory=1 * GiB),
+                        optimizer=OptimizerSpec(enumerator="ues")),
+        ),
+        expect=(
+            Expectation("completed", ">", 0, variant="memo_1g"),
+            Expectation("completed", ">", 0, variant="ues_1g"),
+            Expectation("mean_compile_time", "<=",
+                        variant="ues_1g", than_variant="memo_1g"),
+        ),
+        description="The mem-ramp pressure point re-run per join "
+                    "enumerator: the staged memo search vs the greedy "
+                    "UES-style upper-bound ordering, with the greedy "
+                    "variant pinned to compile no slower on average.")
+
+
+register_scenario(optimizer_scenario())
 
 
 # --------------------------------------------------- scale (new family)

@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 from repro.admission.spec import AdmissionSpec, SloSpec
 from repro.config import ServerConfig, default_gateways, paper_server_config
 from repro.errors import ConfigurationError
+from repro.optimizer.spec import OptimizerSpec
 from repro.traffic.spec import TrafficSpec
 
 #: version of the JSON spec format.  ``ScenarioSpec.to_dict`` stamps
@@ -28,14 +29,16 @@ from repro.traffic.spec import TrafficSpec
 #: (``than_variant``, ``value`` optional); 3 = the open-loop
 #: ``traffic`` axis; 4 = the ``kernel`` knob (simulation scheduler
 #: core selection); 5 = the ``admission`` / ``slo`` axes (policy-driven
-#: admission control and latency objectives).
+#: admission control and latency objectives); 6 = the ``optimizer``
+#: axis (pipeline stage strategies).
 #: Documents are stamped with the *minimal* version able to read them
 #: (a spec without a traffic axis is still a version-2 document; one
 #: on the default legacy kernel needs at most version 3; one without
-#: admission policies or SLOs needs at most version 4), so
-#: pre-existing scenarios keep producing byte-identical artifacts and
-#: stay readable by older builds.
-SPEC_FORMAT_VERSION = 5
+#: admission policies or SLOs needs at most version 4; one without an
+#: optimizer axis needs at most version 5), so pre-existing scenarios
+#: keep producing byte-identical artifacts and stay readable by older
+#: builds.
+SPEC_FORMAT_VERSION = 6
 
 #: comparison operators an Expectation may use
 EXPECTATION_OPS = {
@@ -240,6 +243,9 @@ class VariantSpec:
     #: per-variant admission policy (None = the scenario's) — what lets
     #: one scenario compare `fifo` vs `weighted_fair` across variants
     admission: Optional[AdmissionSpec] = None
+    #: per-variant optimizer pipeline (None = the scenario's) — what
+    #: lets one scenario compare `memo` vs `ues` across variants
+    optimizer: Optional[OptimizerSpec] = None
 
     def __post_init__(self):
         if not self.name or any(c.isspace() for c in self.name):
@@ -260,6 +266,8 @@ class VariantSpec:
             doc["think_time"] = self.think_time
         if self.admission is not None:
             doc["admission"] = self.admission.to_dict()
+        if self.optimizer is not None:
+            doc["optimizer"] = self.optimizer.to_dict()
         return doc
 
     @classmethod
@@ -271,6 +279,9 @@ class VariantSpec:
         admission = kwargs.get("admission")
         if isinstance(admission, dict):
             kwargs["admission"] = AdmissionSpec.from_dict(admission)
+        optimizer = kwargs.get("optimizer")
+        if isinstance(optimizer, dict):
+            kwargs["optimizer"] = OptimizerSpec.from_dict(optimizer)
         return cls(**kwargs)
 
 
@@ -307,6 +318,10 @@ class ScenarioSpec:
     #: latency objectives evaluated against the ``open_loop`` facts
     #: into pinned ``slo.*`` metrics
     slo: Optional[SloSpec] = None
+    #: optimizer pipeline stage strategies (``None`` = the default
+    #: pipeline, pinned byte-identical to the pre-pipeline optimizer);
+    #: variants may override it
+    optimizer: Optional[OptimizerSpec] = None
     variants: Tuple[VariantSpec, ...] = (VariantSpec("run"),)
     expect: Tuple[Expectation, ...] = ()
     render: str = "table"
@@ -384,6 +399,14 @@ class ScenarioSpec:
                     f"scenario {self.scenario_id!r} has no traffic "
                     f"axis; admission policies and SLOs govern "
                     f"open-loop admission and require one")
+        if self.kind != "experiment" \
+                and (self.optimizer is not None
+                     or any(v.optimizer is not None
+                            for v in self.variants)):
+            raise ConfigurationError(
+                f"scenario {self.scenario_id!r} is a {self.kind!r} "
+                f"scenario; the optimizer axis only applies to "
+                f"experiment scenarios")
         if not self.variants:
             raise ConfigurationError(
                 f"scenario {self.scenario_id!r} needs at least one variant")
@@ -411,17 +434,25 @@ class ScenarioSpec:
     def customized(self, preset: Optional[str] = None,
                    seed: Optional[int] = None,
                    clients: Optional[int] = None,
-                   kernel: Optional[str] = None) -> "ScenarioSpec":
+                   kernel: Optional[str] = None,
+                   optimizer: Optional[str] = None) -> "ScenarioSpec":
         """A copy with CLI-style overrides applied (and re-validated).
 
         A ``clients`` override takes effect for every variant,
-        including those carrying their own per-variant count.
+        including those carrying their own per-variant count; an
+        ``optimizer`` override (a join-enumerator name) likewise
+        replaces per-variant optimizer pipelines so every variant runs
+        the requested enumerator.
         """
         spec = self
         if clients is not None and any(v.clients is not None
                                        for v in spec.variants):
             spec = replace(spec, variants=tuple(
                 replace(v, clients=None) for v in spec.variants))
+        if optimizer is not None and any(v.optimizer is not None
+                                         for v in spec.variants):
+            spec = replace(spec, variants=tuple(
+                replace(v, optimizer=None) for v in spec.variants))
         updates: Dict[str, object] = {}
         if preset is not None:
             updates["preset"] = preset
@@ -431,6 +462,9 @@ class ScenarioSpec:
             updates["clients"] = clients
         if kernel is not None:
             updates["kernel"] = kernel
+        if optimizer is not None:
+            updates["optimizer"] = replace(
+                self.optimizer or OptimizerSpec(), enumerator=optimizer)
         return replace(spec, **updates) if updates else spec
 
     def variant_names(self) -> Tuple[str, ...]:
@@ -439,12 +473,16 @@ class ScenarioSpec:
     def document_version(self) -> int:
         """The minimal spec-format version able to read this spec.
 
-        Only admission policies and SLOs need version 5, only a
-        non-default kernel needs version 4 and only the traffic axis
-        needs version 3; everything else has been expressible since
-        version 2.  Minimal stamping is what keeps pre-existing
-        scenarios byte-identical in artifacts across format bumps.
+        Only the optimizer axis needs version 6, only admission
+        policies and SLOs need version 5, only a non-default kernel
+        needs version 4 and only the traffic axis needs version 3;
+        everything else has been expressible since version 2.  Minimal
+        stamping is what keeps pre-existing scenarios byte-identical
+        in artifacts across format bumps.
         """
+        if self.optimizer is not None \
+                or any(v.optimizer is not None for v in self.variants):
+            return 6
         if self.admission is not None or self.slo is not None \
                 or any(v.admission is not None for v in self.variants):
             return 5
@@ -482,6 +520,8 @@ class ScenarioSpec:
             doc["admission"] = self.admission.to_dict()
         if self.slo is not None:
             doc["slo"] = self.slo.to_dict()
+        if self.optimizer is not None:
+            doc["optimizer"] = self.optimizer.to_dict()
         doc.update({
             "variants": [v.to_dict() for v in self.variants],
             "expect": [e.to_dict() for e in self.expect],
@@ -509,6 +549,9 @@ class ScenarioSpec:
         slo = kwargs.get("slo")
         if isinstance(slo, dict):
             kwargs["slo"] = SloSpec.from_dict(slo)
+        optimizer = kwargs.get("optimizer")
+        if isinstance(optimizer, dict):
+            kwargs["optimizer"] = OptimizerSpec.from_dict(optimizer)
         variants = kwargs.get("variants")
         if variants is not None:
             kwargs["variants"] = tuple(

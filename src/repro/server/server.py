@@ -68,7 +68,8 @@ class DatabaseServer:
         self.optimizer = Optimizer(
             catalog,
             effort_multiplier=config.optimizer_effort,
-            memory_multiplier=config.optimizer_memory_multiplier)
+            memory_multiplier=config.optimizer_memory_multiplier,
+            spec=config.optimizer)
         self.binder = Binder(catalog)
         self.broker = MemoryBroker(self.env, self.memory, config.broker,
                                    time_scale=scale)

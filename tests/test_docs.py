@@ -57,7 +57,7 @@ def test_docs_exist():
     for name in ("architecture.md", "scenarios.md", "sharding.md",
                  "cli.md", "executors.md", "operations.md",
                  "results.md", "traffic.md", "kernel.md",
-                 "admission.md"):
+                 "admission.md", "optimizer.md"):
         assert (REPO / "docs" / name).is_file(), name
     assert DOC_FILES, "no documentation files found"
 

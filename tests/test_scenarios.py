@@ -33,6 +33,7 @@ from repro.scenarios import (
     unregister_scenario,
 )
 from repro.admission import AdmissionSpec
+from repro.optimizer.spec import OptimizerSpec
 from repro.scenarios.facade import evaluate_expectations
 from repro.traffic.spec import TrafficSpec
 from repro import cli
@@ -73,10 +74,11 @@ def test_spec_format_versioning():
     spec = tiny_spec()
     doc = spec.to_dict()
     # documents are stamped with the *minimal* version able to read
-    # them (only the admission/slo axes need the current version 5;
-    # a non-default kernel needs 4; the traffic axis needs 3) ...
+    # them (only the optimizer axis needs the current version 6; the
+    # admission/slo axes need 5; a non-default kernel needs 4; the
+    # traffic axis needs 3) ...
     assert doc["version"] == spec.document_version() == 2
-    assert SPEC_FORMAT_VERSION == 5
+    assert SPEC_FORMAT_VERSION == 6
     traffic = TrafficSpec(arrivals="poisson", params={"rate": 0.01})
     assert tiny_spec(traffic=traffic).document_version() == 3
     assert tiny_spec(kernel="wheel").document_version() == 4
@@ -84,6 +86,11 @@ def test_spec_format_versioning():
         traffic=traffic,
         admission=AdmissionSpec(policy="token_bucket", rate=1.0, burst=4.0),
     ).document_version() == 5
+    assert tiny_spec(optimizer=OptimizerSpec()).document_version() == 6
+    assert tiny_spec(variants=(
+        VariantSpec("a"),
+        VariantSpec("b", optimizer=OptimizerSpec(enumerator="ues")),
+    ), expect=()).document_version() == 6
     # ... pre-versioning documents (no version key) still parse ...
     unversioned = dict(doc)
     del unversioned["version"]
@@ -144,6 +151,24 @@ def test_spec_customized_applies_overrides():
         assert job.config.clients == 2
     # no overrides = the same spec
     assert spec.customized() == spec
+
+
+def test_spec_customized_optimizer_override():
+    """``--optimizer`` swaps the enumerator for every variant."""
+    spec = tiny_spec(variants=(
+        VariantSpec("memo", optimizer=OptimizerSpec()),
+        VariantSpec("plain"),
+    ), expect=())
+    custom = spec.customized(optimizer="ues")
+    assert custom.optimizer == OptimizerSpec(enumerator="ues")
+    assert all(v.optimizer is None for v in custom.variants)
+    for job in jobs_for_scenario(custom):
+        assert job.config.optimizer.enumerator == "ues"
+    # the override composes with a scenario-level spec, keeping its
+    # other stages
+    heur = tiny_spec(optimizer=OptimizerSpec(selection="heuristic"))
+    assert heur.customized(optimizer="ues").optimizer \
+        == OptimizerSpec(enumerator="ues", selection="heuristic")
 
 
 def test_overrides_match_legacy_ablation_configs():
